@@ -1,0 +1,181 @@
+// Google-benchmark microbenches for the substrate pieces whose *real* CPU
+// cost matters in the simulation: LZW tile compression, R*-tree probes
+// (dynamic vs STR bulk-loaded), B+-tree operations, and the PBSM
+// partition sweep.
+
+#include <benchmark/benchmark.h>
+
+#include "codec/lzw.h"
+#include "common/rng.h"
+#include "exec/spatial_join.h"
+#include "index/b_plus_tree.h"
+#include "index/r_star_tree.h"
+
+namespace {
+
+using paradise::Rng;
+using paradise::codec::LzwCompress;
+using paradise::codec::LzwDecompress;
+using paradise::exec::ExecContext;
+using paradise::exec::Tuple;
+using paradise::exec::TupleVec;
+using paradise::exec::Value;
+using paradise::geom::Box;
+using paradise::geom::Point;
+using paradise::geom::Polyline;
+using paradise::index::BPlusTree;
+using paradise::index::RStarTree;
+
+std::vector<uint8_t> SmoothTile(size_t bytes) {
+  std::vector<uint8_t> data(bytes);
+  for (size_t i = 0; i < bytes; i += 2) {
+    uint16_t v = static_cast<uint16_t>(2000 + 40 * ((i / 128) % 16));
+    data[i] = static_cast<uint8_t>(v & 0xff);
+    if (i + 1 < bytes) data[i + 1] = static_cast<uint8_t>(v >> 8);
+  }
+  return data;
+}
+
+std::vector<uint8_t> NoisyTile(size_t bytes) {
+  Rng rng(1);
+  std::vector<uint8_t> data(bytes);
+  for (auto& b : data) b = static_cast<uint8_t>(rng.Next());
+  return data;
+}
+
+void BM_LzwCompressSmooth(benchmark::State& state) {
+  std::vector<uint8_t> tile = SmoothTile(32 * 1024);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LzwCompress(tile));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(tile.size()));
+}
+BENCHMARK(BM_LzwCompressSmooth);
+
+void BM_LzwCompressNoise(benchmark::State& state) {
+  std::vector<uint8_t> tile = NoisyTile(32 * 1024);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LzwCompress(tile));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(tile.size()));
+}
+BENCHMARK(BM_LzwCompressNoise);
+
+void BM_LzwDecompressSmooth(benchmark::State& state) {
+  std::vector<uint8_t> packed = LzwCompress(SmoothTile(32 * 1024));
+  for (auto _ : state) {
+    auto out = LzwDecompress(packed);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 32 * 1024);
+}
+BENCHMARK(BM_LzwDecompressSmooth);
+
+Box RandomBox(Rng* rng, double extent, double side) {
+  double x = rng->NextDouble(-extent, extent);
+  double y = rng->NextDouble(-extent, extent);
+  return Box(x, y, x + rng->NextDouble(0.01, side),
+             y + rng->NextDouble(0.01, side));
+}
+
+void BM_RStarDynamicProbe(benchmark::State& state) {
+  Rng rng(2);
+  RStarTree tree;
+  for (int i = 0; i < state.range(0); ++i) {
+    tree.Insert(RandomBox(&rng, 100, 2), static_cast<uint64_t>(i));
+  }
+  for (auto _ : state) {
+    Box q = RandomBox(&rng, 100, 5);
+    int64_t count = 0;
+    tree.SearchOverlap(q, [&](const Box&, uint64_t) {
+      ++count;
+      return true;
+    });
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_RStarDynamicProbe)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_RStarBulkLoadedProbe(benchmark::State& state) {
+  Rng rng(2);
+  std::vector<std::pair<Box, uint64_t>> entries;
+  for (int i = 0; i < state.range(0); ++i) {
+    entries.emplace_back(RandomBox(&rng, 100, 2), static_cast<uint64_t>(i));
+  }
+  auto tree = RStarTree::BulkLoadStr(std::move(entries));
+  for (auto _ : state) {
+    Box q = RandomBox(&rng, 100, 5);
+    int64_t count = 0;
+    tree->SearchOverlap(q, [&](const Box&, uint64_t) {
+      ++count;
+      return true;
+    });
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_RStarBulkLoadedProbe)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_BPlusTreeInsert(benchmark::State& state) {
+  Rng rng(3);
+  for (auto _ : state) {
+    state.PauseTiming();
+    BPlusTree<int64_t> tree;
+    state.ResumeTiming();
+    for (int i = 0; i < state.range(0); ++i) {
+      tree.Insert(rng.NextInt(0, 1 << 20), static_cast<uint64_t>(i));
+    }
+    benchmark::DoNotOptimize(tree.size());
+  }
+}
+BENCHMARK(BM_BPlusTreeInsert)->Arg(10000);
+
+void BM_BPlusTreeProbe(benchmark::State& state) {
+  Rng rng(4);
+  BPlusTree<int64_t> tree;
+  for (int i = 0; i < 100000; ++i) {
+    tree.Insert(rng.NextInt(0, 1 << 20), static_cast<uint64_t>(i));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.Find(rng.NextInt(0, 1 << 20)));
+  }
+}
+BENCHMARK(BM_BPlusTreeProbe);
+
+TupleVec MakeLines(Rng* rng, int n) {
+  TupleVec out;
+  for (int i = 0; i < n; ++i) {
+    double x = rng->NextDouble(-100, 100);
+    double y = rng->NextDouble(-100, 100);
+    std::vector<Point> pts;
+    for (int k = 0; k < 6; ++k) {
+      pts.push_back(Point{x + k * 0.3, y + ((k % 2) ? 0.4 : -0.2)});
+    }
+    out.push_back(Tuple({Value(static_cast<int64_t>(i)),
+                         Value(Polyline(std::move(pts)))}));
+  }
+  return out;
+}
+
+void BM_PbsmJoin(benchmark::State& state) {
+  Rng rng(5);
+  TupleVec left = MakeLines(&rng, static_cast<int>(state.range(0)));
+  TupleVec right = MakeLines(&rng, static_cast<int>(state.range(0)));
+  ExecContext ctx;
+  paradise::exec::PbsmOptions opts;
+  opts.num_partitions = static_cast<size_t>(state.range(1));
+  for (auto _ : state) {
+    auto r = paradise::exec::PbsmSpatialJoin(left, 1, right, 1, ctx, opts);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_PbsmJoin)
+    ->Args({2000, 1})
+    ->Args({2000, 16})
+    ->Args({2000, 64})
+    ->Args({8000, 64});
+
+}  // namespace
+
+BENCHMARK_MAIN();

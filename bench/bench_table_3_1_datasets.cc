@@ -1,0 +1,69 @@
+// Reproduces Table 3.1 (scaleup data set sizes) and Table 3.3 (the fixed
+// speedup data set): per-table tuple counts and byte sizes for the 4-, 8-,
+// and 16-node configurations. The synthetic data set is ~1/256 the paper's
+// byte volume by default; the tuple-count *ratios* across configurations
+// are the paper's (doubling per configuration, constant 1440-style raster
+// cardinality).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "datagen/datagen.h"
+
+namespace {
+
+using paradise::bench::BenchConfig;
+using paradise::datagen::GenerateGlobalDataSet;
+using paradise::datagen::GlobalDataSet;
+
+struct Row {
+  const char* name;
+  int64_t tuples;
+  double mbytes;
+};
+
+void PrintConfig(const BenchConfig& cfg, int nodes, int scale) {
+  GlobalDataSet ds = GenerateGlobalDataSet(cfg.MakeOptions(scale));
+  auto bytes_of = [](const std::vector<paradise::exec::Tuple>& rows) {
+    double n = 0;
+    for (const auto& t : rows) {
+      for (const auto& v : t.values) n += v.StorageBytes(true);
+    }
+    return n / 1e6;
+  };
+  Row rows[] = {
+      {"raster", static_cast<int64_t>(ds.rasters.size()),
+       static_cast<double>(ds.RasterBytes()) / 1e6},
+      {"populatedPlaces", static_cast<int64_t>(ds.populated_places.size()),
+       bytes_of(ds.populated_places)},
+      {"roads", static_cast<int64_t>(ds.roads.size()), bytes_of(ds.roads)},
+      {"drainage", static_cast<int64_t>(ds.drainage.size()),
+       bytes_of(ds.drainage)},
+      {"landCover", static_cast<int64_t>(ds.land_cover.size()),
+       bytes_of(ds.land_cover)},
+  };
+  std::printf("%d nodes (resolution scaleup S=%d):\n", nodes, scale);
+  std::printf("  %-18s %12s %12s\n", "table", "# tuples", "size (MB)");
+  for (const Row& r : rows) {
+    std::printf("  %-18s %12lld %12.1f\n", r.name,
+                static_cast<long long>(r.tuples), r.mbytes);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchConfig cfg = BenchConfig::FromArgs(argc, argv);
+  std::printf(
+      "== Table 3.1: scaleup data set sizes (synthetic global data set, "
+      "~1/%d of the paper's bytes) ==\n\n",
+      static_cast<int>(1.0 / cfg.fraction));
+  PrintConfig(cfg, 4, 1);
+  PrintConfig(cfg, 8, 2);
+  PrintConfig(cfg, 16, 4);
+  std::printf(
+      "== Table 3.3: speedup data set == identical to the 4-node row above "
+      "(S=1), used on 4/8/16 nodes.\n");
+  return 0;
+}

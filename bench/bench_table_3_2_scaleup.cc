@@ -1,0 +1,71 @@
+// Reproduces Table 3.2: scaleup execution times for Queries 2-14. The
+// database grows with the cluster (4 nodes/S=1, 8/S=2, 16/S=4); flat lines
+// across a row mean perfect scaleup. The "paper" column shows the
+// published numbers for shape comparison — absolute values differ because
+// the synthetic data set is scaled down (see EXPERIMENTS.md).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace {
+
+using paradise::bench::BenchConfig;
+using paradise::bench::LoadDb;
+using paradise::bench::LoadedDb;
+using paradise::bench::RunQuerySeconds;
+
+// Table 3.2 of the paper, for side-by-side shape comparison.
+constexpr double kPaper[13][3] = {
+    {118.19, 125.33, 113.00},    // Q2
+    {8.97, 13.57, 21.68},        // Q3
+    {3.34, 5.73, 10.13},         // Q4
+    {1.09, 1.01, 1.04},          // Q5
+    {14.40, 14.12, 11.93},       // Q6
+    {1.79, 1.83, 1.86},          // Q7
+    {11.70, 12.26, 12.47},       // Q8
+    {17.12, 26.80, 42.46},       // Q9
+    {79.96, 73.62, 73.49},       // Q10
+    {24.83, 29.19, 31.25},       // Q11
+    {308.43, 328.63, 367.74},    // Q12
+    {1156.47, 974.51, 929.69},   // Q13
+    {100.83, 123.72, 167.52},    // Q14
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchConfig cfg = BenchConfig::FromArgs(argc, argv);
+  const int configs[3][2] = {{4, 1}, {8, 2}, {16, 4}};
+  double results[13][3];
+
+  for (int c = 0; c < 3; ++c) {
+    std::fprintf(stderr, "loading %d-node database (S=%d)...\n",
+                 configs[c][0], configs[c][1]);
+    LoadedDb l = LoadDb(cfg, configs[c][0], configs[c][1]);
+    for (int q = 2; q <= 14; ++q) {
+      std::fprintf(stderr, "  query %d...\n", q);
+      results[q - 2][c] = RunQuerySeconds(l.db.get(), q);
+    }
+  }
+
+  std::printf(
+      "== Table 3.2: scaleup execution times (modeled seconds) ==\n"
+      "   database grows with the cluster; flat rows = perfect scaleup\n\n");
+  std::printf("%-10s %10s %10s %10s   | paper: %9s %9s %9s\n", "query",
+              "4 nodes", "8 nodes", "16 nodes", "4n", "8n", "16n");
+  for (int q = 2; q <= 14; ++q) {
+    std::printf("Query %-4d %10.3f %10.3f %10.3f   |        %9.2f %9.2f %9.2f\n",
+                q, results[q - 2][0], results[q - 2][1], results[q - 2][2],
+                kPaper[q - 2][0], kPaper[q - 2][1], kPaper[q - 2][2]);
+  }
+  std::printf(
+      "\nscaleup ratio (16-node time / 4-node time; 1.0 = perfect, <1 "
+      "super-linear):\n");
+  for (int q = 2; q <= 14; ++q) {
+    double ours = results[q - 2][2] / results[q - 2][0];
+    double paper = kPaper[q - 2][2] / kPaper[q - 2][0];
+    std::printf("Query %-4d ours %6.2f   paper %6.2f\n", q, ours, paper);
+  }
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Reproduces Table 3.4: speedup execution times for Queries 2-14 — the
+// *fixed* S=1 database (Table 3.3) run on 4, 8, and 16 nodes. Halving
+// times per doubling = perfect speedup.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace {
+
+using paradise::bench::BenchConfig;
+using paradise::bench::LoadDb;
+using paradise::bench::LoadedDb;
+using paradise::bench::RunQuerySeconds;
+
+// Table 3.4 of the paper.
+constexpr double kPaper[13][3] = {
+    {118.19, 50.29, 23.99},    // Q2
+    {8.97, 7.12, 7.80},        // Q3
+    {3.34, 3.60, 4.32},        // Q4
+    {1.09, 0.62, 0.43},        // Q5
+    {14.40, 8.07, 5.41},       // Q6
+    {1.79, 1.02, 0.70},        // Q7
+    {11.70, 7.28, 7.36},       // Q8
+    {17.12, 14.58, 14.29},     // Q9
+    {79.96, 39.99, 21.44},     // Q10
+    {24.83, 12.29, 6.53},      // Q11
+    {308.43, 153.28, 91.38},   // Q12
+    {1156.47, 514.41, 268.02}, // Q13
+    {100.83, 57.96, 43.04},    // Q14
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchConfig cfg = BenchConfig::FromArgs(argc, argv);
+  const int node_counts[3] = {4, 8, 16};
+  double results[13][3];
+
+  for (int c = 0; c < 3; ++c) {
+    std::fprintf(stderr, "loading fixed database on %d nodes...\n",
+                 node_counts[c]);
+    LoadedDb l = LoadDb(cfg, node_counts[c], /*scale=*/1);
+    for (int q = 2; q <= 14; ++q) {
+      std::fprintf(stderr, "  query %d...\n", q);
+      results[q - 2][c] = RunQuerySeconds(l.db.get(), q);
+    }
+  }
+
+  std::printf(
+      "== Table 3.4: speedup execution times (modeled seconds) ==\n"
+      "   fixed database on a growing cluster\n\n");
+  std::printf("%-10s %10s %10s %10s   | paper: %9s %9s %9s\n", "query",
+              "4 nodes", "8 nodes", "16 nodes", "4n", "8n", "16n");
+  for (int q = 2; q <= 14; ++q) {
+    std::printf("Query %-4d %10.3f %10.3f %10.3f   |        %9.2f %9.2f %9.2f\n",
+                q, results[q - 2][0], results[q - 2][1], results[q - 2][2],
+                kPaper[q - 2][0], kPaper[q - 2][1], kPaper[q - 2][2]);
+  }
+  std::printf(
+      "\nspeedup 4->16 nodes (4.0 = perfect, >4 super-linear):\n");
+  for (int q = 2; q <= 14; ++q) {
+    double ours = results[q - 2][0] / results[q - 2][2];
+    double paper = kPaper[q - 2][0] / kPaper[q - 2][2];
+    std::printf("Query %-4d ours %6.2f   paper %6.2f\n", q, ours, paper);
+  }
+  return 0;
+}

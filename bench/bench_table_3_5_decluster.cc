@@ -1,0 +1,73 @@
+// Reproduces Table 3.5: the decluster-rasters experiment (Section 2.6 /
+// 3.5). Queries 2, 3, and 3' on 16 nodes, with each raster's tiles either
+// resident on one node (the default) or spread round-robin across all
+// nodes. The paper's finding: declustering *hurts* the many-raster scan
+// (Q2), barely helps a small clip (Q3), and wins big when a few whole
+// rasters are processed (Q3').
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace {
+
+using paradise::bench::BenchConfig;
+using paradise::bench::LoadDb;
+using paradise::bench::LoadedDb;
+using paradise::benchmark::RunQuery2;
+using paradise::benchmark::RunQuery3;
+using paradise::benchmark::RunQuery3Prime;
+
+double Run(paradise::benchmark::BenchmarkDatabase* db, int which) {
+  auto r = which == 2   ? RunQuery2(db)
+           : which == 3 ? RunQuery3(db)
+                        : RunQuery3Prime(db);
+  if (!r.ok()) {
+    std::fprintf(stderr, "query failed: %s\n", r.status().ToString().c_str());
+    std::exit(1);
+  }
+  return r->seconds;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchConfig cfg = BenchConfig::FromArgs(argc, argv);
+  constexpr int kNodes = 16;
+
+  std::fprintf(stderr, "loading (tiles declustered across nodes)...\n");
+  double with_decluster[3], without_decluster[3];
+  {
+    LoadedDb l = LoadDb(cfg, kNodes, /*scale=*/1, /*decluster_rasters=*/true);
+    for (int i = 0; i < 3; ++i) {
+      with_decluster[i] = Run(l.db.get(), i + 2);
+    }
+  }
+  std::fprintf(stderr, "loading (tiles resident on one node each)...\n");
+  {
+    LoadedDb l = LoadDb(cfg, kNodes, /*scale=*/1, /*decluster_rasters=*/false);
+    for (int i = 0; i < 3; ++i) {
+      without_decluster[i] = Run(l.db.get(), i + 2);
+    }
+  }
+
+  // Paper's Table 3.5 for reference.
+  const double paper_with[3] = {336.6, 15.3, 53.5};
+  const double paper_without[3] = {112.9, 21.68, 417.8};
+  const char* names[3] = {"Query 2", "Query 3", "Query 3'"};
+
+  std::printf(
+      "== Table 3.5: declustering individual rasters (16 nodes, modeled "
+      "seconds) ==\n\n");
+  std::printf("%-10s %18s %18s   | paper: %10s %10s\n", "query",
+              "with decluster", "w/o decluster", "with", "w/o");
+  for (int i = 0; i < 3; ++i) {
+    std::printf("%-10s %18.3f %18.3f   |        %10.1f %10.1f\n", names[i],
+                with_decluster[i], without_decluster[i], paper_with[i],
+                paper_without[i]);
+  }
+  std::printf(
+      "\nexpected shape: Q2 slower with declustering, Q3 roughly even, "
+      "Q3' much faster with declustering.\n");
+  return 0;
+}

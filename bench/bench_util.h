@@ -1,0 +1,94 @@
+#ifndef PARADISE_BENCH_BENCH_UTIL_H_
+#define PARADISE_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "benchmark/database.h"
+#include "benchmark/queries.h"
+
+namespace paradise::bench {
+
+/// Sizing knobs shared by the table benchmarks. The default data set is
+/// ~1/256 of the paper's (Table 3.1) so a full run finishes on one core;
+/// pass --fraction= / --dates= / --raster= to rescale, or --quick for a
+/// smoke-test run.
+struct BenchConfig {
+  double fraction = 1.0 / 64;
+  int dates = 90;           // x4 channels = 360 rasters (paper: 1440)
+  uint32_t raster_size = 256;
+  /// Small tiles keep the tile:clip-region ratio comparable to the
+  /// paper's 128 KB tiles against 20 MB images.
+  size_t tile_bytes = 2048;
+  uint64_t seed = 42;
+
+  static BenchConfig FromArgs(int argc, char** argv) {
+    BenchConfig cfg;
+    for (int i = 1; i < argc; ++i) {
+      const char* arg = argv[i];
+      if (std::strncmp(arg, "--fraction=", 11) == 0) {
+        cfg.fraction = std::atof(arg + 11);
+      } else if (std::strncmp(arg, "--dates=", 8) == 0) {
+        cfg.dates = std::atoi(arg + 8);
+      } else if (std::strncmp(arg, "--raster=", 9) == 0) {
+        cfg.raster_size = static_cast<uint32_t>(std::atoi(arg + 9));
+      } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+        cfg.seed = static_cast<uint64_t>(std::atoll(arg + 7));
+      } else if (std::strcmp(arg, "--quick") == 0) {
+        cfg.fraction = 1.0 / 1024;
+        cfg.dates = 24;
+        cfg.raster_size = 128;
+      }
+    }
+    return cfg;
+  }
+
+  datagen::DataSetOptions MakeOptions(int scale) const {
+    datagen::DataSetOptions o;
+    o.seed = seed;
+    o.scale = scale;
+    o.size_fraction = fraction;
+    o.num_dates = dates;
+    o.base_raster_size = raster_size;
+    return o;
+  }
+};
+
+struct LoadedDb {
+  std::unique_ptr<core::Cluster> cluster;
+  std::unique_ptr<benchmark::BenchmarkDatabase> db;
+};
+
+inline LoadedDb LoadDb(const BenchConfig& cfg, int nodes, int scale,
+                       bool decluster_rasters = false) {
+  LoadedDb out;
+  out.cluster = std::make_unique<core::Cluster>(nodes);
+  datagen::GlobalDataSet ds =
+      datagen::GenerateGlobalDataSet(cfg.MakeOptions(scale));
+  benchmark::LoadOptions lopts;
+  lopts.decluster_rasters = decluster_rasters;
+  lopts.tile_bytes = cfg.tile_bytes;
+  auto db = benchmark::BenchmarkDatabase::Load(out.cluster.get(), ds, lopts);
+  if (!db.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", db.status().ToString().c_str());
+    std::exit(1);
+  }
+  out.db = std::move(*db);
+  return out;
+}
+
+inline double RunQuerySeconds(benchmark::BenchmarkDatabase* db, int query) {
+  auto r = benchmark::RunQueryByNumber(db, query);
+  if (!r.ok()) {
+    std::fprintf(stderr, "query %d failed: %s\n", query,
+                 r.status().ToString().c_str());
+    std::exit(1);
+  }
+  return r->seconds;
+}
+
+}  // namespace paradise::bench
+
+#endif  // PARADISE_BENCH_BENCH_UTIL_H_

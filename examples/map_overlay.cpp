@@ -1,0 +1,93 @@
+// Map overlay: join two large spatial relations — which rivers cross
+// which roads (the paper's Query 13 / Wisconsin-river-vs-US-90 example,
+// Section 2.7.2). Demonstrates the full parallel spatial join: spatial
+// redeclustering with replication, per-node PBSM, and reference-point
+// duplicate elimination (the Wisconsin river and U.S. 90 cross twice but
+// must be reported once... per crossing pair, not per partition).
+
+#include <cstdio>
+#include <set>
+
+#include "common/rng.h"
+#include "core/cluster.h"
+#include "core/parallel_ops.h"
+
+using namespace paradise;
+
+namespace {
+
+exec::TupleVec MakeChains(Rng* rng, int n, const char* prefix, double step) {
+  exec::TupleVec out;
+  for (int i = 0; i < n; ++i) {
+    std::vector<geom::Point> pts;
+    geom::Point cur{rng->NextDouble(0, 1000), rng->NextDouble(0, 1000)};
+    double heading = rng->NextDouble(0, 6.28);
+    for (int k = 0; k < 12; ++k) {
+      pts.push_back(cur);
+      heading += rng->NextDouble(-0.4, 0.4);
+      cur.x += step * std::cos(heading);
+      cur.y += step * std::sin(heading);
+    }
+    out.push_back(
+        exec::Tuple({exec::Value(std::string(prefix) + std::to_string(i)),
+                     exec::Value(geom::Polyline(std::move(pts)))}));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  core::Cluster cluster(8);
+  core::QueryCoordinator coord(&cluster);
+  Rng rng(7);
+
+  exec::TupleVec rivers = MakeChains(&rng, 4000, "river-", 12.0);
+  exec::TupleVec roads = MakeChains(&rng, 3000, "road-", 15.0);
+  geom::Box universe(0, 0, 1200, 1200);
+
+  int N = cluster.num_nodes();
+  core::PerNode river_per(N), road_per(N);
+  for (size_t i = 0; i < rivers.size(); ++i) {
+    river_per[i % N].push_back(rivers[i]);
+  }
+  for (size_t i = 0; i < roads.size(); ++i) {
+    road_per[i % N].push_back(roads[i]);
+  }
+
+  coord.BeginQuery();
+  core::ParallelSpatialJoinOptions opts;
+  opts.tiles_per_axis = 40;
+  auto joined = core::ParallelSpatialJoin(&coord, river_per, 1, road_per, 1,
+                                          universe, opts);
+  if (!joined.ok()) {
+    std::fprintf(stderr, "%s\n", joined.status().ToString().c_str());
+    return 1;
+  }
+  auto rows = core::Gather(&coord, *joined);
+  if (!rows.ok()) return 1;
+
+  std::printf("%zu river/road crossings found (modeled %.3f s on %d nodes)\n",
+              rows->size(), coord.query_seconds(), N);
+  for (size_t i = 0; i < rows->size() && i < 6; ++i) {
+    std::printf("  %-12s crosses %s\n", (*rows)[i].at(0).AsString().c_str(),
+                (*rows)[i].at(2).AsString().c_str());
+  }
+  std::printf("  ...\n\nphases:\n");
+  for (const auto& p : coord.phases()) {
+    std::printf("  %-14s %s %.4f s (work across nodes: %.4f s)\n",
+                p.name.c_str(), p.sequential ? "[seq]" : "     ", p.seconds,
+                p.total_node_seconds);
+  }
+
+  // Sanity: no duplicate pairs despite replication.
+  std::set<std::pair<std::string, std::string>> unique_pairs;
+  for (const exec::Tuple& t : *rows) {
+    if (!unique_pairs.emplace(t.at(0).AsString(), t.at(2).AsString()).second) {
+      std::printf("DUPLICATE pair found — dedup bug!\n");
+      return 1;
+    }
+  }
+  std::printf("\nno duplicates: reference-point elimination held.\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+#ifndef PARADISE_ARRAY_ARRAY_HANDLE_H_
+#define PARADISE_ARRAY_ARRAY_HANDLE_H_
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "common/bytes.h"
+#include "storage/large_object.h"
+
+namespace paradise::array {
+
+/// Reference to one stored tile of a chunked array.
+struct TileRef {
+  storage::LobId lob;
+  bool compressed = false;  // LZW helped; otherwise stored raw
+  uint32_t raw_bytes = 0;   // decompressed size
+  /// Node holding this tile; -1 inherits the handle's owner_node. Set per
+  /// tile only for *declustered* rasters (Section 2.6), whose tiles are
+  /// spread across nodes.
+  int32_t owner_node = -1;
+};
+
+/// The in-tuple representation of an array attribute (Section 2.5.1):
+/// metadata stays inline; small arrays keep their data inline too, large
+/// ones leave only tile references (the "mapping table") behind.
+///
+/// `owner_node` records which node's storage holds the tiles, so an
+/// operator running elsewhere knows where to *pull* from (Section 2.5.2).
+struct ArrayHandle {
+  std::vector<uint32_t> dims;       // extent of each dimension
+  uint32_t elem_size = 1;           // bytes per element
+  std::vector<uint32_t> tile_dims;  // tile extent per dimension
+  uint32_t owner_node = 0;
+
+  ByteBuffer inline_data;       // non-empty iff the array is inlined
+  std::vector<TileRef> tiles;   // row-major tile order; empty iff inlined
+
+  bool inlined() const { return tiles.empty(); }
+
+  /// Node holding tile `i`.
+  uint32_t TileOwner(uint32_t i) const {
+    return tiles[i].owner_node >= 0 ? static_cast<uint32_t>(tiles[i].owner_node)
+                                    : owner_node;
+  }
+
+  /// True if any tile lives on a different node than the handle's owner.
+  bool declustered() const {
+    for (const TileRef& t : tiles) {
+      if (t.owner_node >= 0 && static_cast<uint32_t>(t.owner_node) != owner_node) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  uint64_t num_elements() const {
+    uint64_t n = 1;
+    for (uint32_t d : dims) n *= d;
+    return n;
+  }
+  uint64_t total_bytes() const { return num_elements() * elem_size; }
+
+  /// Number of tiles along dimension `i`.
+  uint32_t tiles_in_dim(size_t i) const {
+    return (dims[i] + tile_dims[i] - 1) / tile_dims[i];
+  }
+  uint32_t num_tiles() const {
+    uint32_t n = 1;
+    for (size_t i = 0; i < dims.size(); ++i) n *= tiles_in_dim(i);
+    return n;
+  }
+
+  /// Bytes the handle itself occupies inside a tuple.
+  size_t StorageBytes() const {
+    return 32 + 8 * dims.size() + inline_data.size() + 24 * tiles.size();
+  }
+
+  void Serialize(ByteWriter* w) const;
+  static ArrayHandle Deserialize(ByteReader* r);
+};
+
+}  // namespace paradise::array
+
+#endif  // PARADISE_ARRAY_ARRAY_HANDLE_H_

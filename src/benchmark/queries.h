@@ -1,0 +1,46 @@
+#ifndef PARADISE_BENCHMARK_QUERIES_H_
+#define PARADISE_BENCHMARK_QUERIES_H_
+
+#include <string>
+
+#include "benchmark/database.h"
+#include "core/coordinator.h"
+
+namespace paradise::benchmark {
+
+/// Result of one benchmark query: the rows delivered to the client plus
+/// the modeled elapsed time (what Tables 3.2/3.4/3.5 report).
+struct QueryResult {
+  exec::TupleVec rows;
+  double seconds = 0.0;
+  /// Per-phase breakdown (for diagnosis and the experiment write-up).
+  std::vector<core::QueryCoordinator::PhaseReport> phases;
+};
+
+/// Queries 2-14 of Section 3.1.2. Each starts with the cold-buffer-pool
+/// protocol (BeginQuery) and implements the plan the paper describes.
+/// Query 1 (load + index build) is BenchmarkDatabase::Load.
+StatusOr<QueryResult> RunQuery2(BenchmarkDatabase* db);   // clip all ch-5 rasters, sort by date
+StatusOr<QueryResult> RunQuery3(BenchmarkDatabase* db);   // average of 4 clipped rasters
+StatusOr<QueryResult> RunQuery4(BenchmarkDatabase* db);   // clip + lower_res + insert
+StatusOr<QueryResult> RunQuery5(BenchmarkDatabase* db);   // name = "Phoenix"
+StatusOr<QueryResult> RunQuery6(BenchmarkDatabase* db);   // spatial selection + insert
+StatusOr<QueryResult> RunQuery7(BenchmarkDatabase* db);   // circle + area selection
+StatusOr<QueryResult> RunQuery8(BenchmarkDatabase* db);   // Louisville spatial join
+StatusOr<QueryResult> RunQuery9(BenchmarkDatabase* db);   // oil fields x 1 raster clip
+StatusOr<QueryResult> RunQuery10(BenchmarkDatabase* db);  // clip-in-predicate
+StatusOr<QueryResult> RunQuery11(BenchmarkDatabase* db);  // closest road per type
+StatusOr<QueryResult> RunQuery12(BenchmarkDatabase* db);  // closest drainage per big city
+StatusOr<QueryResult> RunQuery13(BenchmarkDatabase* db);  // drainage x roads overlap
+StatusOr<QueryResult> RunQuery14(BenchmarkDatabase* db);  // 1988 ch-5 rasters x oil fields
+
+/// Query 3': Query 3 with the clip region covering the whole raster
+/// (the declustered-raster experiment of Section 3.5 / Table 3.5).
+StatusOr<QueryResult> RunQuery3Prime(BenchmarkDatabase* db);
+
+/// Runs query `number` (2..14) by name.
+StatusOr<QueryResult> RunQueryByNumber(BenchmarkDatabase* db, int number);
+
+}  // namespace paradise::benchmark
+
+#endif  // PARADISE_BENCHMARK_QUERIES_H_

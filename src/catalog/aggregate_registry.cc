@@ -1,0 +1,88 @@
+#include "catalog/aggregate_registry.h"
+
+namespace paradise::catalog {
+
+using exec::AggregatePtr;
+using exec::ExprPtr;
+using exec::Value;
+using exec::ValueType;
+
+Status AggregateRegistry::Register(const std::string& name, Factory factory) {
+  if (factories_.contains(name)) {
+    return Status::AlreadyExists("aggregate " + name);
+  }
+  factories_.emplace(name, std::move(factory));
+  return Status::OK();
+}
+
+StatusOr<AggregatePtr> AggregateRegistry::Create(
+    const std::string& name, const std::vector<ExprPtr>& args,
+    const std::vector<Value>& params) const {
+  auto it = factories_.find(name);
+  if (it == factories_.end()) return Status::NotFound("aggregate " + name);
+  return it->second(args, params);
+}
+
+bool AggregateRegistry::Has(const std::string& name) const {
+  return factories_.contains(name);
+}
+
+std::vector<std::string> AggregateRegistry::Names() const {
+  std::vector<std::string> names;
+  for (const auto& [name, f] : factories_) names.push_back(name);
+  return names;
+}
+
+AggregateRegistry AggregateRegistry::WithBuiltins() {
+  AggregateRegistry reg;
+  auto expect_args = [](const std::vector<ExprPtr>& args,
+                        size_t n) -> Status {
+    if (args.size() != n) {
+      return Status::InvalidArgument("wrong aggregate argument count");
+    }
+    return Status::OK();
+  };
+  (void)reg.Register("count", [](const std::vector<ExprPtr>&,
+                                 const std::vector<Value>&)
+                                  -> StatusOr<AggregatePtr> {
+    return exec::MakeCount();
+  });
+  (void)reg.Register(
+      "sum", [expect_args](const std::vector<ExprPtr>& args,
+                           const std::vector<Value>&) -> StatusOr<AggregatePtr> {
+        PARADISE_RETURN_IF_ERROR(expect_args(args, 1));
+        return exec::MakeSum(args[0]);
+      });
+  (void)reg.Register(
+      "avg", [expect_args](const std::vector<ExprPtr>& args,
+                           const std::vector<Value>&) -> StatusOr<AggregatePtr> {
+        PARADISE_RETURN_IF_ERROR(expect_args(args, 1));
+        return exec::MakeAvg(args[0]);
+      });
+  (void)reg.Register(
+      "min", [expect_args](const std::vector<ExprPtr>& args,
+                           const std::vector<Value>&) -> StatusOr<AggregatePtr> {
+        PARADISE_RETURN_IF_ERROR(expect_args(args, 1));
+        return exec::MakeMin(args[0]);
+      });
+  (void)reg.Register(
+      "max", [expect_args](const std::vector<ExprPtr>& args,
+                           const std::vector<Value>&) -> StatusOr<AggregatePtr> {
+        PARADISE_RETURN_IF_ERROR(expect_args(args, 1));
+        return exec::MakeMax(args[0]);
+      });
+  (void)reg.Register(
+      "closest",
+      [expect_args](const std::vector<ExprPtr>& args,
+                    const std::vector<Value>& params)
+          -> StatusOr<AggregatePtr> {
+        PARADISE_RETURN_IF_ERROR(expect_args(args, 1));
+        if (params.size() != 1 || params[0].type() != ValueType::kPoint) {
+          return Status::InvalidArgument("closest needs a point parameter");
+        }
+        return exec::MakeClosest(args[0], params[0].AsPoint());
+      });
+  return reg;
+}
+
+}  // namespace paradise::catalog

@@ -1,0 +1,46 @@
+#ifndef PARADISE_CATALOG_AGGREGATE_REGISTRY_H_
+#define PARADISE_CATALOG_AGGREGATE_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "exec/aggregate.h"
+
+namespace paradise::catalog {
+
+/// Registry of aggregate operators by name (Section 2.4): "when the system
+/// is extended either by adding new ADTs and/or new aggregate operators,
+/// the aggregate name along with its local and global functions are
+/// registered in the system catalogs. This permits new aggregates to be
+/// added without modifying the scheduler or execution engine."
+///
+/// A factory receives the argument expressions plus constant parameters
+/// (e.g. the query point of `closest`).
+class AggregateRegistry {
+ public:
+  using Factory = std::function<StatusOr<exec::AggregatePtr>(
+      const std::vector<exec::ExprPtr>& args,
+      const std::vector<exec::Value>& params)>;
+
+  Status Register(const std::string& name, Factory factory);
+
+  StatusOr<exec::AggregatePtr> Create(
+      const std::string& name, const std::vector<exec::ExprPtr>& args,
+      const std::vector<exec::Value>& params = {}) const;
+
+  bool Has(const std::string& name) const;
+  std::vector<std::string> Names() const;
+
+  /// A registry pre-loaded with the standard SQL aggregates (count, sum,
+  /// avg, min, max) and the spatial aggregate `closest`.
+  static AggregateRegistry WithBuiltins();
+
+ private:
+  std::map<std::string, Factory> factories_;
+};
+
+}  // namespace paradise::catalog
+
+#endif  // PARADISE_CATALOG_AGGREGATE_REGISTRY_H_

@@ -1,0 +1,64 @@
+#ifndef PARADISE_CATALOG_CATALOG_H_
+#define PARADISE_CATALOG_CATALOG_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/tuple.h"
+#include "geom/box.h"
+
+namespace paradise::catalog {
+
+/// How a table's tuples are spread across the cluster (Section 2.3 and
+/// 2.7.1): round-robin, hash on an attribute, or spatial declustering on a
+/// grid of tiles over the universe.
+enum class PartitioningKind { kRoundRobin, kHash, kSpatial };
+
+struct IndexDef {
+  std::string name;
+  size_t column = 0;
+  bool spatial = false;  // R*-tree vs B+-tree
+};
+
+/// Table metadata: schema, declustering, indexes, basic statistics. The
+/// optimizer reads the stats; the loader fills them in.
+struct TableDef {
+  std::string name;
+  exec::Schema schema;
+
+  PartitioningKind partitioning = PartitioningKind::kRoundRobin;
+  size_t partition_column = 0;     // for kHash / kSpatial
+  geom::Box universe;              // for kSpatial: the declustering domain
+
+  std::vector<IndexDef> indexes;
+
+  // Statistics.
+  int64_t num_tuples = 0;
+  double avg_tuple_bytes = 0.0;
+
+  const IndexDef* FindIndexOn(size_t column, bool spatial) const {
+    for (const IndexDef& idx : indexes) {
+      if (idx.column == column && idx.spatial == spatial) return &idx;
+    }
+    return nullptr;
+  }
+};
+
+/// The system catalog: table name -> definition.
+class Catalog {
+ public:
+  Status CreateTable(TableDef def);
+  StatusOr<TableDef*> GetTable(const std::string& name);
+  const TableDef* FindTable(const std::string& name) const;
+  Status DropTable(const std::string& name);
+  std::vector<std::string> TableNames() const;
+
+ private:
+  std::map<std::string, TableDef> tables_;
+};
+
+}  // namespace paradise::catalog
+
+#endif  // PARADISE_CATALOG_CATALOG_H_

@@ -1,0 +1,185 @@
+#include "codec/lzw.h"
+
+#include <string>
+#include <unordered_map>
+
+namespace paradise::codec {
+
+namespace {
+
+constexpr uint32_t kClearCode = 256;
+constexpr uint32_t kEndCode = 257;
+constexpr uint32_t kFirstCode = 258;
+constexpr uint32_t kCodeBits = 12;
+constexpr uint32_t kMaxCodes = 1u << kCodeBits;  // 4096
+
+/// Packs fixed-width codes MSB-first into a byte vector.
+class BitPacker {
+ public:
+  explicit BitPacker(std::vector<uint8_t>* out) : out_(out) {}
+
+  void Put(uint32_t code) {
+    acc_ = (acc_ << kCodeBits) | code;
+    bits_ += kCodeBits;
+    while (bits_ >= 8) {
+      bits_ -= 8;
+      out_->push_back(static_cast<uint8_t>(acc_ >> bits_));
+    }
+  }
+
+  void Flush() {
+    if (bits_ > 0) {
+      out_->push_back(static_cast<uint8_t>(acc_ << (8 - bits_)));
+      bits_ = 0;
+    }
+  }
+
+ private:
+  std::vector<uint8_t>* out_;
+  uint64_t acc_ = 0;
+  uint32_t bits_ = 0;
+};
+
+/// Unpacks fixed-width codes written by BitPacker.
+class BitUnpacker {
+ public:
+  BitUnpacker(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  bool Get(uint32_t* code) {
+    while (bits_ < kCodeBits) {
+      if (pos_ >= size_) return false;
+      acc_ = (acc_ << 8) | data_[pos_++];
+      bits_ += 8;
+    }
+    bits_ -= kCodeBits;
+    *code = static_cast<uint32_t>((acc_ >> bits_) & (kMaxCodes - 1));
+    return true;
+  }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  uint64_t acc_ = 0;
+  uint32_t bits_ = 0;
+};
+
+// Dictionary key: (prefix code << 8) | next byte.
+inline uint32_t DictKey(uint32_t prefix, uint8_t next) {
+  return (prefix << 8) | next;
+}
+
+}  // namespace
+
+std::vector<uint8_t> LzwCompress(const uint8_t* data, size_t size) {
+  std::vector<uint8_t> out;
+  out.reserve(size / 2 + 16);
+  BitPacker packer(&out);
+  packer.Put(kClearCode);
+
+  std::unordered_map<uint32_t, uint32_t> dict;
+  dict.reserve(kMaxCodes * 2);
+  uint32_t next_code = kFirstCode;
+
+  if (size == 0) {
+    packer.Put(kEndCode);
+    packer.Flush();
+    return out;
+  }
+
+  uint32_t cur = data[0];
+  for (size_t i = 1; i < size; ++i) {
+    uint8_t c = data[i];
+    auto it = dict.find(DictKey(cur, c));
+    if (it != dict.end()) {
+      cur = it->second;
+      continue;
+    }
+    packer.Put(cur);
+    if (next_code < kMaxCodes) {
+      dict.emplace(DictKey(cur, c), next_code++);
+    } else {
+      packer.Put(kClearCode);
+      dict.clear();
+      next_code = kFirstCode;
+    }
+    cur = c;
+  }
+  packer.Put(cur);
+  packer.Put(kEndCode);
+  packer.Flush();
+  return out;
+}
+
+StatusOr<std::vector<uint8_t>> LzwDecompress(const uint8_t* data,
+                                             size_t size) {
+  std::vector<uint8_t> out;
+  BitUnpacker unpacker(data, size);
+
+  // Decoder dictionary: code -> (prefix code, first byte, last byte, length).
+  struct Entry {
+    uint32_t prefix;
+    uint8_t first;
+    uint8_t last;
+  };
+  std::vector<Entry> dict(kMaxCodes);
+  uint32_t next_code = kFirstCode;
+
+  auto emit = [&](uint32_t code) -> uint8_t {
+    // Expands `code` into `out`; returns its first byte.
+    size_t start = out.size();
+    uint32_t c = code;
+    while (c >= kFirstCode) {
+      out.push_back(dict[c].last);
+      c = dict[c].prefix;
+    }
+    out.push_back(static_cast<uint8_t>(c));
+    // The chain was emitted in reverse; flip it in place.
+    for (size_t i = start, j = out.size() - 1; i < j; ++i, --j) {
+      std::swap(out[i], out[j]);
+    }
+    return out[start];
+  };
+
+  uint32_t prev = kClearCode;
+  uint32_t code;
+  while (unpacker.Get(&code)) {
+    if (code == kEndCode) return out;
+    if (code == kClearCode) {
+      next_code = kFirstCode;
+      prev = kClearCode;
+      continue;
+    }
+    if (code >= next_code && !(code == next_code && prev != kClearCode)) {
+      return Status::Corruption("LZW: code beyond dictionary");
+    }
+    if (prev == kClearCode) {
+      if (code >= 256) return Status::Corruption("LZW: first code not literal");
+      out.push_back(static_cast<uint8_t>(code));
+      prev = code;
+      continue;
+    }
+    uint8_t first;
+    if (code == next_code) {
+      // The KwKwK special case: the entry being defined is used immediately.
+      uint8_t prev_first =
+          prev >= kFirstCode ? dict[prev].first : static_cast<uint8_t>(prev);
+      size_t start = out.size();
+      emit(prev);
+      out.push_back(prev_first);
+      first = out[start];
+    } else {
+      first = emit(code);
+    }
+    if (next_code < kMaxCodes) {
+      uint8_t prev_first =
+          prev >= kFirstCode ? dict[prev].first : static_cast<uint8_t>(prev);
+      dict[next_code] = Entry{prev, prev_first, first};
+      ++next_code;
+    }
+    prev = code;
+  }
+  return Status::Corruption("LZW: missing END code");
+}
+
+}  // namespace paradise::codec

@@ -1,0 +1,68 @@
+#include "common/date.h"
+
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace paradise {
+
+namespace {
+
+// Howard Hinnant's civil-days algorithms (public domain).
+int64_t DaysFromCivil(int y, unsigned m, unsigned d) {
+  y -= m <= 2;
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);            // [0, 399]
+  const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;  // [0, 365]
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;           // [0, 146096]
+  return era * 146097 + static_cast<int64_t>(doe) - 719468;
+}
+
+void CivilFromDays(int64_t z, int* y, unsigned* m, unsigned* d) {
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);  // [0, 146096]
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t yy = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);  // [0, 365]
+  const unsigned mp = (5 * doy + 2) / 153;                       // [0, 11]
+  *d = doy - (153 * mp + 2) / 5 + 1;                             // [1, 31]
+  *m = mp + (mp < 10 ? 3 : -9);                                  // [1, 12]
+  *y = static_cast<int>(yy + (*m <= 2));
+}
+
+}  // namespace
+
+Date Date::FromYmd(int year, int month, int day) {
+  PARADISE_CHECK(month >= 1 && month <= 12);
+  PARADISE_CHECK(day >= 1 && day <= 31);
+  return Date(static_cast<int32_t>(
+      DaysFromCivil(year, static_cast<unsigned>(month),
+                    static_cast<unsigned>(day))));
+}
+
+StatusOr<Date> Date::Parse(const std::string& text) {
+  int y = 0, m = 0, d = 0;
+  if (std::sscanf(text.c_str(), "%d-%d-%d", &y, &m, &d) != 3 || m < 1 ||
+      m > 12 || d < 1 || d > 31) {
+    return Status::InvalidArgument("bad date: " + text);
+  }
+  return Date::FromYmd(y, m, d);
+}
+
+Date::Ymd Date::ToYmd() const {
+  int y;
+  unsigned m, d;
+  CivilFromDays(days_, &y, &m, &d);
+  return Ymd{y, static_cast<int>(m), static_cast<int>(d)};
+}
+
+std::string Date::ToString() const {
+  Ymd ymd = ToYmd();
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", ymd.year, ymd.month,
+                ymd.day);
+  return buf;
+}
+
+}  // namespace paradise

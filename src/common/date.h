@@ -1,0 +1,49 @@
+#ifndef PARADISE_COMMON_DATE_H_
+#define PARADISE_COMMON_DATE_H_
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace paradise {
+
+/// Calendar date stored as days since 1970-01-01 (proleptic Gregorian).
+/// Supports the date arithmetic the benchmark queries need (equality,
+/// ranges, "same year").
+class Date {
+ public:
+  Date() : days_(0) {}
+  explicit Date(int32_t days_since_epoch) : days_(days_since_epoch) {}
+
+  /// Builds a date from civil fields; aborts on out-of-range fields.
+  static Date FromYmd(int year, int month, int day);
+
+  /// Parses "YYYY-MM-DD".
+  static StatusOr<Date> Parse(const std::string& text);
+
+  int32_t days_since_epoch() const { return days_; }
+
+  struct Ymd {
+    int year;
+    int month;
+    int day;
+  };
+  Ymd ToYmd() const;
+
+  int year() const { return ToYmd().year; }
+
+  std::string ToString() const;
+
+  friend auto operator<=>(const Date&, const Date&) = default;
+
+  Date AddDays(int32_t n) const { return Date(days_ + n); }
+
+ private:
+  int32_t days_;
+};
+
+}  // namespace paradise
+
+#endif  // PARADISE_COMMON_DATE_H_

@@ -1,0 +1,36 @@
+#ifndef PARADISE_COMMON_LOGGING_H_
+#define PARADISE_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Invariant-checking macros. Programmer errors abort (the library never
+// throws); recoverable conditions use Status instead.
+
+#define PARADISE_CHECK(cond)                                              \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__,       \
+                   __LINE__, #cond);                                      \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+#define PARADISE_CHECK_MSG(cond, msg)                                     \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s (%s)\n", __FILE__,  \
+                   __LINE__, #cond, msg);                                 \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+#ifndef NDEBUG
+#define PARADISE_DCHECK(cond) PARADISE_CHECK(cond)
+#else
+#define PARADISE_DCHECK(cond) \
+  do {                        \
+  } while (0)
+#endif
+
+#endif  // PARADISE_COMMON_LOGGING_H_

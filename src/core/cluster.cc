@@ -1,0 +1,74 @@
+#include "core/cluster.h"
+
+#include "common/logging.h"
+
+namespace paradise::core {
+
+namespace {
+// Volume-id layout per node: data volumes first, then the LOB volume and
+// the temp volume. Volume ids are node-local.
+constexpr uint32_t kLobVolumeOffset = 100;
+constexpr uint32_t kTempVolumeOffset = 101;
+}  // namespace
+
+Node::Node(uint32_t id, size_t buffer_pool_frames, int data_volumes)
+    : id_(id),
+      pool_(std::make_unique<storage::BufferPool>(buffer_pool_frames)) {
+  for (int i = 0; i < data_volumes; ++i) {
+    volumes_.push_back(std::make_unique<storage::DiskVolume>(
+        static_cast<uint32_t>(i), &clock_));
+  }
+  auto lob_volume =
+      std::make_unique<storage::DiskVolume>(kLobVolumeOffset, &clock_);
+  auto temp_volume =
+      std::make_unique<storage::DiskVolume>(kTempVolumeOffset, &clock_);
+  for (auto& v : volumes_) pool_->AttachVolume(v.get());
+  pool_->AttachVolume(lob_volume.get());
+  pool_->AttachVolume(temp_volume.get());
+  lob_store_ = std::make_unique<storage::LargeObjectStore>(pool_.get(),
+                                                           lob_volume.get());
+  temp_store_ = std::make_unique<storage::LargeObjectStore>(pool_.get(),
+                                                            temp_volume.get());
+  volumes_.push_back(std::move(lob_volume));
+  volumes_.push_back(std::move(temp_volume));
+  local_source_ =
+      std::make_unique<array::LocalTileSource>(lob_store_.get(), &clock_);
+  temp_source_ =
+      std::make_unique<array::LocalTileSource>(temp_store_.get(), &clock_);
+}
+
+Cluster::Cluster(int num_nodes) : Cluster(num_nodes, Options{}) {}
+
+Cluster::Cluster(int num_nodes, Options options) {
+  PARADISE_CHECK(num_nodes > 0);
+  for (int i = 0; i < num_nodes; ++i) {
+    nodes_.push_back(std::make_unique<Node>(static_cast<uint32_t>(i),
+                                            options.buffer_pool_frames,
+                                            options.data_volumes_per_node));
+  }
+}
+
+void Cluster::ChargeTransfer(uint32_t from, uint32_t to, int64_t bytes) {
+  if (from == to || bytes <= 0) return;  // shared-memory transport
+  int64_t messages = (bytes + 8191) / 8192;
+  nodes_[from]->clock()->ChargeNet(messages, bytes);
+  nodes_[to]->clock()->ChargeNet(messages, bytes);
+}
+
+void Cluster::ResetForQuery() {
+  for (auto& n : nodes_) {
+    PARADISE_CHECK(n->pool()->FlushAll().ok());
+    n->pool()->DiscardAll();  // cold buffer pool, as in Section 3.2
+    n->clock()->Reset();
+  }
+  coordinator_clock_.Reset();
+}
+
+std::vector<sim::ResourceUsage> Cluster::EndPhaseAllNodes() {
+  std::vector<sim::ResourceUsage> usages;
+  usages.reserve(nodes_.size());
+  for (auto& n : nodes_) usages.push_back(n->clock()->EndPhase());
+  return usages;
+}
+
+}  // namespace paradise::core

@@ -1,0 +1,96 @@
+#ifndef PARADISE_CORE_CLUSTER_H_
+#define PARADISE_CORE_CLUSTER_H_
+
+#include <memory>
+#include <vector>
+
+#include "array/chunked_array.h"
+#include "exec/exec_context.h"
+#include "sim/cost_model.h"
+#include "sim/node_clock.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_volume.h"
+#include "storage/large_object.h"
+
+namespace paradise::core {
+
+/// One data server (Section 2.2): its own disks, buffer pool, large-object
+/// stores, and virtual clock. Table fragments and raster tiles live here;
+/// operators run "on" a node by charging its clock.
+class Node {
+ public:
+  Node(uint32_t id, size_t buffer_pool_frames, int data_volumes);
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  uint32_t id() const { return id_; }
+  sim::NodeClock* clock() { return &clock_; }
+  storage::BufferPool* pool() { return pool_.get(); }
+
+  /// Permanent storage for base-table tiles/large attributes.
+  storage::LargeObjectStore* lob_store() { return lob_store_.get(); }
+  /// Per-query temporary storage (deleted between queries conceptually).
+  storage::LargeObjectStore* temp_store() { return temp_store_.get(); }
+
+  storage::DiskVolume* data_volume(int i) { return volumes_[i].get(); }
+  int num_data_volumes() const { return static_cast<int>(volumes_.size()); }
+
+  /// Reads tiles stored on this node, charging this node's clock.
+  array::LocalTileSource* local_tile_source() { return local_source_.get(); }
+  /// Same, for temporary (mid-query) arrays.
+  array::LocalTileSource* temp_tile_source() { return temp_source_.get(); }
+
+ private:
+  const uint32_t id_;
+  sim::NodeClock clock_;
+  std::vector<std::unique_ptr<storage::DiskVolume>> volumes_;
+  std::unique_ptr<storage::BufferPool> pool_;
+  std::unique_ptr<storage::LargeObjectStore> lob_store_;
+  std::unique_ptr<storage::LargeObjectStore> temp_store_;
+  std::unique_ptr<array::LocalTileSource> local_source_;
+  std::unique_ptr<array::LocalTileSource> temp_source_;
+};
+
+/// The simulated shared-nothing cluster plus the coordinator's clock. The
+/// paper's testbed: nodes with 4 data disks + 1 log disk each, linked by
+/// switched 100 Mbit Ethernet — all folded into the CostModel.
+class Cluster {
+ public:
+  struct Options {
+    /// 32 MB buffer pool per node, as configured in Section 3.2.
+    size_t buffer_pool_frames = (32 << 20) / storage::kPageSize;
+    int data_volumes_per_node = 4;
+  };
+
+  explicit Cluster(int num_nodes);
+  Cluster(int num_nodes, Options options);
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  Node& node(int i) { return *nodes_[i]; }
+  const sim::CostModel& cost_model() const { return cost_model_; }
+  sim::CostModel* mutable_cost_model() { return &cost_model_; }
+
+  sim::NodeClock* coordinator_clock() { return &coordinator_clock_; }
+
+  /// Charges a tuple batch transfer of `bytes` from node `from` to node
+  /// `to` (sender and receiver links both carry it; messages are charged
+  /// per 8 KB batch). `from == to` is free (shared memory transport).
+  void ChargeTransfer(uint32_t from, uint32_t to, int64_t bytes);
+
+  /// Flushes every node's buffer pool and resets all clocks — the paper's
+  /// cold-buffer-pool protocol between benchmark queries.
+  void ResetForQuery();
+
+  /// Sum of all node phase clocks... see QueryCoordinator for phase logic.
+  std::vector<sim::ResourceUsage> EndPhaseAllNodes();
+
+ private:
+  sim::CostModel cost_model_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  sim::NodeClock coordinator_clock_;
+};
+
+}  // namespace paradise::core
+
+#endif  // PARADISE_CORE_CLUSTER_H_

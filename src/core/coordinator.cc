@@ -1,0 +1,59 @@
+#include "core/coordinator.h"
+
+#include <algorithm>
+
+namespace paradise::core {
+
+void QueryCoordinator::BeginQuery() {
+  cluster_->ResetForQuery();
+  query_seconds_ = 0.0;
+  phases_.clear();
+}
+
+Status QueryCoordinator::RunPhase(
+    const std::string& name, const std::function<Status(int node)>& work) {
+  // Nodes execute their fragments. (On this host they run back-to-back;
+  // time is taken from the per-node clocks, not the wall.)
+  for (int n = 0; n < cluster_->num_nodes(); ++n) {
+    PARADISE_RETURN_IF_ERROR(work(n));
+  }
+  PhaseReport report;
+  report.name = name;
+  const sim::CostModel& model = cluster_->cost_model();
+  for (sim::ResourceUsage& usage : cluster_->EndPhaseAllNodes()) {
+    double s = model.Seconds(usage);
+    report.max_node_seconds = std::max(report.max_node_seconds, s);
+    report.total_node_seconds += s;
+  }
+  report.seconds = report.max_node_seconds;
+  query_seconds_ += report.seconds;
+  phases_.push_back(std::move(report));
+  return Status::OK();
+}
+
+Status QueryCoordinator::RunSequential(const std::string& name,
+                                       const std::function<Status()>& work) {
+  PARADISE_RETURN_IF_ERROR(work());
+  PhaseReport report;
+  report.name = name;
+  report.sequential = true;
+  const sim::CostModel& model = cluster_->cost_model();
+  // The sequential operator may have pulled data from nodes: their phase
+  // usage counts toward this phase too (they serve tiles while the
+  // coordinator-side operator runs).
+  double max_node = 0.0, total = 0.0;
+  for (sim::ResourceUsage& usage : cluster_->EndPhaseAllNodes()) {
+    double s = model.Seconds(usage);
+    max_node = std::max(max_node, s);
+    total += s;
+  }
+  double seq = model.Seconds(cluster_->coordinator_clock()->EndPhase());
+  report.max_node_seconds = max_node;
+  report.total_node_seconds = total + seq;
+  report.seconds = seq + max_node;
+  query_seconds_ += report.seconds;
+  phases_.push_back(std::move(report));
+  return Status::OK();
+}
+
+}  // namespace paradise::core

@@ -1,0 +1,62 @@
+#ifndef PARADISE_CORE_COORDINATOR_H_
+#define PARADISE_CORE_COORDINATOR_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/cluster.h"
+
+namespace paradise::core {
+
+/// The Query Coordinator (Section 2.2): controls the parallel execution of
+/// a query as a sequence of *phases*. Within a phase every node works
+/// independently; redistribution points and the final result collection
+/// are phase barriers.
+///
+/// Modeled query time = sum over phases of max-over-nodes(phase seconds)
+///                    + coordinator-sequential seconds.
+/// The explicitly sequential pieces of the paper's queries (the single
+/// global aggregate operator of Queries 11/12, Query 3's collector) run
+/// via RunSequential and add their full time — which is exactly what caps
+/// their speedup in Tables 3.2/3.4.
+class QueryCoordinator {
+ public:
+  explicit QueryCoordinator(Cluster* cluster) : cluster_(cluster) {}
+
+  /// Cold-start protocol: flush+drop buffer pools, zero all clocks.
+  void BeginQuery();
+
+  /// Runs `work(node)` for every node, then closes the phase and adds
+  /// max-over-nodes phase time to the query clock.
+  Status RunPhase(const std::string& name,
+                  const std::function<Status(int node)>& work);
+
+  /// Runs sequential (coordinator-side) work; its time adds fully.
+  Status RunSequential(const std::string& name,
+                       const std::function<Status()>& work);
+
+  /// Modeled elapsed seconds of the query so far.
+  double query_seconds() const { return query_seconds_; }
+
+  struct PhaseReport {
+    std::string name;
+    bool sequential = false;
+    double seconds = 0.0;        // contribution to query time
+    double max_node_seconds = 0.0;
+    double total_node_seconds = 0.0;  // summed over nodes (work volume)
+  };
+  const std::vector<PhaseReport>& phases() const { return phases_; }
+
+  Cluster* cluster() { return cluster_; }
+
+ private:
+  Cluster* const cluster_;
+  double query_seconds_ = 0.0;
+  std::vector<PhaseReport> phases_;
+};
+
+}  // namespace paradise::core
+
+#endif  // PARADISE_CORE_COORDINATOR_H_

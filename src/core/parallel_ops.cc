@@ -1,0 +1,580 @@
+#include "core/parallel_ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "sim/cost_model.h"
+
+namespace paradise::core {
+
+using exec::ExecContext;
+using exec::ExprPtr;
+using exec::Tuple;
+using exec::TupleVec;
+using exec::Value;
+using exec::ValueType;
+using geom::Box;
+using geom::Point;
+
+NodeExecContext MakeNodeContext(Cluster* cluster, int node) {
+  NodeExecContext out;
+  out.pull = std::make_unique<PullTileSource>(cluster,
+                                              static_cast<uint32_t>(node));
+  PullTileSource* pull = out.pull.get();
+  out.ctx.node_id = static_cast<uint32_t>(node);
+  out.ctx.clock = cluster->node(node).clock();
+  out.ctx.temp_store = cluster->node(node).temp_store();
+  out.ctx.tile_source = [pull](uint32_t) -> array::TileSource* {
+    return pull;  // dispatches local vs remote per tile
+  };
+  return out;
+}
+
+NodeExecContext MakeCoordinatorContext(Cluster* cluster) {
+  // The coordinator runs on node 0's machine in the paper's setup; its
+  // sequential operators charge the dedicated coordinator clock and pull
+  // tiles as a "virtual node" colocated with node 0.
+  NodeExecContext out;
+  out.pull = std::make_unique<PullTileSource>(cluster, 0);
+  PullTileSource* pull = out.pull.get();
+  out.ctx.node_id = 0;
+  out.ctx.clock = cluster->coordinator_clock();
+  out.ctx.temp_store = cluster->node(0).temp_store();
+  out.ctx.tile_source = [pull](uint32_t) -> array::TileSource* {
+    return pull;
+  };
+  return out;
+}
+
+StatusOr<PerNode> ParallelScan(QueryCoordinator* coord,
+                               const ParallelTable& table,
+                               const ExprPtr& predicate,
+                               const std::vector<ExprPtr>& projection) {
+  Cluster* cluster = coord->cluster();
+  PerNode out(cluster->num_nodes());
+  PARADISE_RETURN_IF_ERROR(coord->RunPhase("scan", [&](int n) -> Status {
+    NodeExecContext nc = MakeNodeContext(cluster, n);
+    PARADISE_ASSIGN_OR_RETURN(TupleVec rows,
+                              table.ScanFragment(cluster, n, true));
+    if (predicate != nullptr) {
+      PARADISE_ASSIGN_OR_RETURN(rows, exec::Filter(rows, predicate, nc.ctx));
+    }
+    if (!projection.empty()) {
+      PARADISE_ASSIGN_OR_RETURN(rows, exec::Project(rows, projection, nc.ctx));
+    }
+    out[n] = std::move(rows);
+    return Status::OK();
+  }));
+  return out;
+}
+
+StatusOr<PerNode> ParallelScanAll(QueryCoordinator* coord,
+                                  const ParallelTable& table,
+                                  const ExprPtr& predicate) {
+  Cluster* cluster = coord->cluster();
+  PerNode out(cluster->num_nodes());
+  PARADISE_RETURN_IF_ERROR(coord->RunPhase("scan all", [&](int n) -> Status {
+    NodeExecContext nc = MakeNodeContext(cluster, n);
+    PARADISE_ASSIGN_OR_RETURN(TupleVec rows,
+                              table.ScanFragment(cluster, n, false));
+    if (predicate != nullptr) {
+      PARADISE_ASSIGN_OR_RETURN(rows, exec::Filter(rows, predicate, nc.ctx));
+    }
+    out[n] = std::move(rows);
+    return Status::OK();
+  }));
+  return out;
+}
+
+StatusOr<PerNode> ParallelSpatialIndexSelect(QueryCoordinator* coord,
+                                             const ParallelTable& table,
+                                             const Box& query_mbr,
+                                             const ExprPtr& exact_pred) {
+  Cluster* cluster = coord->cluster();
+  PerNode out(cluster->num_nodes());
+  PARADISE_RETURN_IF_ERROR(
+      coord->RunPhase("spatial index select", [&](int n) -> Status {
+        const ParallelTable::Fragment& frag = table.fragment(n);
+        if (frag.rtree == nullptr) {
+          return Status::FailedPrecondition("no spatial index");
+        }
+        NodeExecContext nc = MakeNodeContext(cluster, n);
+        int64_t nodes_visited = 0;
+        std::vector<uint64_t> rows;
+        frag.rtree->SearchOverlap(
+            query_mbr,
+            [&](const Box&, uint64_t row) {
+              rows.push_back(row);
+              return true;
+            },
+            &nodes_visited);
+        nc.ctx.clock->ChargeDiskRead(nodes_visited * storage::kPageSize,
+                                     nodes_visited);
+        for (uint64_t row : rows) {
+          PARADISE_ASSIGN_OR_RETURN(Tuple t, table.FetchRow(cluster, n, row));
+          if (!table.IsPrimary(n, row)) continue;  // replica: skip
+          if (exact_pred != nullptr) {
+            PARADISE_ASSIGN_OR_RETURN(bool keep,
+                                      EvalPredicate(exact_pred, t, nc.ctx));
+            if (!keep) continue;
+          }
+          out[n].push_back(std::move(t));
+        }
+        return Status::OK();
+      }));
+  return out;
+}
+
+namespace {
+
+Status ChargeBTreeProbe(sim::NodeClock* clock, size_t height) {
+  clock->ChargeCpu(sim::cpu_cost::kIndexProbe);
+  clock->ChargeDiskRead(static_cast<int64_t>(height * storage::kPageSize),
+                        static_cast<int64_t>(height));
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<PerNode> ParallelIndexSelectString(QueryCoordinator* coord,
+                                            const ParallelTable& table,
+                                            size_t column,
+                                            const std::string& key) {
+  Cluster* cluster = coord->cluster();
+  PerNode out(cluster->num_nodes());
+  PARADISE_RETURN_IF_ERROR(
+      coord->RunPhase("index select", [&](int n) -> Status {
+        const ParallelTable::Fragment& frag = table.fragment(n);
+        auto it = frag.string_indexes.find(column);
+        if (it == frag.string_indexes.end()) {
+          return Status::FailedPrecondition("no index on column");
+        }
+        PARADISE_RETURN_IF_ERROR(
+            ChargeBTreeProbe(cluster->node(n).clock(), it->second.height()));
+        for (uint64_t row : it->second.Find(key)) {
+          if (!table.IsPrimary(n, row)) continue;
+          PARADISE_ASSIGN_OR_RETURN(Tuple t, table.FetchRow(cluster, n, row));
+          out[n].push_back(std::move(t));
+        }
+        return Status::OK();
+      }));
+  return out;
+}
+
+StatusOr<PerNode> ParallelIndexSelectIntRange(QueryCoordinator* coord,
+                                              const ParallelTable& table,
+                                              size_t column, int64_t lo,
+                                              int64_t hi) {
+  Cluster* cluster = coord->cluster();
+  PerNode out(cluster->num_nodes());
+  PARADISE_RETURN_IF_ERROR(
+      coord->RunPhase("index range select", [&](int n) -> Status {
+        const ParallelTable::Fragment& frag = table.fragment(n);
+        auto it = frag.int_indexes.find(column);
+        if (it == frag.int_indexes.end()) {
+          return Status::FailedPrecondition("no index on column");
+        }
+        sim::NodeClock* clock = cluster->node(n).clock();
+        PARADISE_RETURN_IF_ERROR(ChargeBTreeProbe(clock, it->second.height()));
+        std::vector<uint64_t> rows;
+        it->second.RangeScan(lo, hi, [&](const int64_t&, const uint64_t& row) {
+          rows.push_back(row);
+          return true;
+        });
+        // Leaf pages touched by the range.
+        int64_t leaves = static_cast<int64_t>(
+            rows.size() / index::BPlusTree<int64_t>::kMaxEntries + 1);
+        clock->ChargeDiskRead(leaves * storage::kPageSize, 1);
+        for (uint64_t row : rows) {
+          if (!table.IsPrimary(n, row)) continue;
+          PARADISE_ASSIGN_OR_RETURN(Tuple t, table.FetchRow(cluster, n, row));
+          out[n].push_back(std::move(t));
+        }
+        return Status::OK();
+      }));
+  return out;
+}
+
+StatusOr<PerNode> Redistribute(
+    QueryCoordinator* coord, const PerNode& input,
+    const std::function<void(const Tuple&, std::vector<uint32_t>*)>& route) {
+  Cluster* cluster = coord->cluster();
+  int N = cluster->num_nodes();
+  PerNode out(N);
+  PARADISE_RETURN_IF_ERROR(
+      coord->RunPhase("redistribute", [&](int n) -> Status {
+        sim::NodeClock* clock = cluster->node(n).clock();
+        std::vector<int64_t> bytes_to(N, 0);
+        std::vector<uint32_t> dests;
+        for (const Tuple& t : input[n]) {
+          clock->ChargeCpu(sim::cpu_cost::kTupleOverhead +
+                           sim::cpu_cost::kHash);
+          dests.clear();
+          route(t, &dests);
+          size_t wire = t.WireBytes();
+          for (uint32_t d : dests) {
+            PARADISE_DCHECK(d < static_cast<uint32_t>(N));
+            if (static_cast<int>(d) != n) {
+              bytes_to[d] += static_cast<int64_t>(wire);
+              // Receiver pays deserialization CPU.
+              cluster->node(d).clock()->ChargeCpu(
+                  sim::cpu_cost::kPerByteCopied * static_cast<double>(wire));
+            }
+            out[d].push_back(t);
+          }
+        }
+        for (int d = 0; d < N; ++d) {
+          cluster->ChargeTransfer(static_cast<uint32_t>(n),
+                                  static_cast<uint32_t>(d), bytes_to[d]);
+        }
+        return Status::OK();
+      }));
+  return out;
+}
+
+StatusOr<PerNode> Broadcast(QueryCoordinator* coord, const PerNode& input) {
+  int N = coord->cluster()->num_nodes();
+  return Redistribute(coord, input,
+                      [N](const Tuple&, std::vector<uint32_t>* dests) {
+                        for (int d = 0; d < N; ++d) {
+                          dests->push_back(static_cast<uint32_t>(d));
+                        }
+                      });
+}
+
+StatusOr<TupleVec> Gather(QueryCoordinator* coord, const PerNode& input) {
+  Cluster* cluster = coord->cluster();
+  TupleVec out;
+  PARADISE_RETURN_IF_ERROR(coord->RunSequential("gather", [&]() -> Status {
+    for (int n = 0; n < cluster->num_nodes(); ++n) {
+      int64_t bytes = 0;
+      for (const Tuple& t : input[n]) {
+        bytes += static_cast<int64_t>(t.WireBytes());
+        out.push_back(t);
+      }
+      if (bytes > 0) {
+        int64_t messages = (bytes + 8191) / 8192;
+        cluster->node(n).clock()->ChargeNet(messages, bytes);
+        cluster->coordinator_clock()->ChargeNet(messages, bytes);
+      }
+    }
+    return Status::OK();
+  }));
+  return out;
+}
+
+StatusOr<PerNode> ParallelSpatialJoin(QueryCoordinator* coord,
+                                      const PerNode& left, size_t left_col,
+                                      const PerNode& right, size_t right_col,
+                                      const Box& universe,
+                                      const ParallelSpatialJoinOptions& opts) {
+  Cluster* cluster = coord->cluster();
+  int N = cluster->num_nodes();
+  SpatialGrid grid(universe, opts.tiles_per_axis, static_cast<uint32_t>(N));
+
+  // Phase 1: spatial redeclustering with replication (skipped for inputs
+  // already declustered on this grid).
+  auto route_spatial = [&grid](size_t col) {
+    return [&grid, col](const Tuple& t, std::vector<uint32_t>* dests) {
+      *dests = grid.NodesOfBox(t.at(col).Mbr());
+    };
+  };
+  PerNode left_placed;
+  if (opts.left_predeclustered) {
+    left_placed = left;
+  } else {
+    PARADISE_ASSIGN_OR_RETURN(left_placed,
+                              Redistribute(coord, left, route_spatial(left_col)));
+  }
+  PerNode right_placed;
+  if (opts.right_predeclustered) {
+    right_placed = right;
+  } else {
+    PARADISE_ASSIGN_OR_RETURN(
+        right_placed, Redistribute(coord, right, route_spatial(right_col)));
+  }
+
+  // Phase 2: local PBSM join + cross-node duplicate elimination by the
+  // reference-point rule.
+  PerNode out(N);
+  size_t left_width = 0;
+  for (const TupleVec& v : left) {
+    if (!v.empty()) {
+      left_width = v[0].size();
+      break;
+    }
+  }
+  PARADISE_RETURN_IF_ERROR(coord->RunPhase("pbsm join", [&](int n) -> Status {
+    NodeExecContext nc = MakeNodeContext(cluster, n);
+    PARADISE_ASSIGN_OR_RETURN(
+        TupleVec joined,
+        exec::PbsmSpatialJoin(left_placed[n], left_col, right_placed[n],
+                              right_col, nc.ctx, opts.pbsm));
+    for (Tuple& t : joined) {
+      Box lb = t.at(left_col).Mbr();
+      Box rb = t.at(left_width + right_col).Mbr();
+      Point rp = grid.ClampToUniverse(
+          Point{std::max(lb.xmin, rb.xmin), std::max(lb.ymin, rb.ymin)});
+      if (grid.NodeOfPoint(rp) != static_cast<uint32_t>(n)) continue;
+      out[n].push_back(std::move(t));
+    }
+    return Status::OK();
+  }));
+  return out;
+}
+
+StatusOr<TupleVec> ParallelAggregate(QueryCoordinator* coord,
+                                     const PerNode& input,
+                                     const std::vector<size_t>& group_cols,
+                                     const std::vector<exec::AggregatePtr>& aggs) {
+  Cluster* cluster = coord->cluster();
+  int N = cluster->num_nodes();
+  PerNode partials(N);
+  PARADISE_RETURN_IF_ERROR(
+      coord->RunPhase("local aggregate", [&](int n) -> Status {
+        NodeExecContext nc = MakeNodeContext(cluster, n);
+        PARADISE_ASSIGN_OR_RETURN(
+            partials[n], exec::AggregateLocal(input[n], group_cols, aggs,
+                                              nc.ctx));
+        return Status::OK();
+      }));
+
+  // The single global aggregate operator (sequential, as in the paper).
+  TupleVec result;
+  PARADISE_RETURN_IF_ERROR(
+      coord->RunSequential("global aggregate", [&]() -> Status {
+        TupleVec all;
+        for (int n = 0; n < N; ++n) {
+          int64_t bytes = 0;
+          for (const Tuple& t : partials[n]) {
+            bytes += static_cast<int64_t>(t.WireBytes());
+            all.push_back(t);
+          }
+          if (bytes > 0) {
+            int64_t messages = (bytes + 8191) / 8192;
+            cluster->node(n).clock()->ChargeNet(messages, bytes);
+            cluster->coordinator_clock()->ChargeNet(messages, bytes);
+          }
+        }
+        NodeExecContext cc = MakeCoordinatorContext(cluster);
+        PARADISE_ASSIGN_OR_RETURN(
+            result,
+            exec::AggregateGlobal(all, group_cols.size(), aggs, cc.ctx));
+        return Status::OK();
+      }));
+  return result;
+}
+
+StatusOr<TupleVec> SpatialJoinWithClosest(
+    QueryCoordinator* coord, const PerNode& points, size_t point_col,
+    const PerNode& features, size_t shape_col, const Box& universe,
+    uint32_t tiles_per_axis, ClosestJoinStats* stats) {
+  Cluster* cluster = coord->cluster();
+  int N = cluster->num_nodes();
+  SpatialGrid grid(universe, tiles_per_axis, static_cast<uint32_t>(N));
+  double universe_area = universe.Area();
+
+  // Step 1-2: decluster features (with replication) and points on the
+  // same grid.
+  PARADISE_ASSIGN_OR_RETURN(
+      PerNode features_placed,
+      Redistribute(coord, features,
+                   [&](const Tuple& t, std::vector<uint32_t>* dests) {
+                     *dests = grid.NodesOfBox(t.at(shape_col).Mbr());
+                   }));
+  PARADISE_ASSIGN_OR_RETURN(
+      PerNode points_placed,
+      Redistribute(coord, points,
+                   [&](const Tuple& t, std::vector<uint32_t>* dests) {
+                     dests->push_back(grid.NodeOfPoint(t.at(point_col).AsPoint()));
+                   }));
+
+  // Step 3 + semi-join: build the local index on the fly; points whose
+  // largest inscribed circle finds the answer stay local, others are
+  // collected for replication.
+  std::vector<std::unique_ptr<index::RStarTree>> trees(N);
+  PerNode partials(N);    // [point, shape, distance] candidates
+  PerNode unresolved(N);  // point tuples needing every node
+  int64_t local_count = 0;
+  PARADISE_RETURN_IF_ERROR(
+      coord->RunPhase("spatial semi-join", [&](int n) -> Status {
+        NodeExecContext nc = MakeNodeContext(cluster, n);
+        trees[n] = exec::BuildRTreeOnColumn(features_placed[n], shape_col,
+                                            nc.ctx);
+        for (const Tuple& pt : points_placed[n]) {
+          const Point& p = pt.at(point_col).AsPoint();
+          uint32_t tile = grid.TileOfPoint(p);
+          double radius = grid.TileBox(tile).BoundaryDistanceFrom(p);
+          // Probe the inscribed circle.
+          nc.ctx.clock->ChargeCpu(sim::cpu_cost::kIndexProbe);
+          int64_t visited = 0;
+          double best_d = std::numeric_limits<double>::infinity();
+          size_t best_row = 0;
+          trees[n]->SearchCircle(
+              geom::Circle(p, radius),
+              [&](const Box&, uint64_t row) {
+                auto d_or = SpatialDistance(
+                    Value(p), features_placed[n][row].at(shape_col), nc.ctx);
+                if (d_or.ok() && *d_or < best_d) {
+                  best_d = *d_or;
+                  best_row = row;
+                }
+                return true;
+              },
+              &visited);
+          // On-the-fly index: memory-resident probes (CPU only).
+          nc.ctx.ChargeCpu(static_cast<double>(visited) *
+                           sim::cpu_cost::kIndexNodeVisit);
+          if (best_d <= radius) {
+            // The closest feature is provably local.
+            Tuple partial;
+            partial.values.push_back(pt.at(point_col));
+            partial.values.push_back(
+                features_placed[n][best_row].at(shape_col));
+            partial.values.push_back(Value(best_d));
+            partials[n].push_back(std::move(partial));
+            ++local_count;
+          } else {
+            unresolved[n].push_back(pt);
+          }
+        }
+        return Status::OK();
+      }));
+
+  // Step 3b: replicate unresolved points to every node.
+  int64_t replicated_count = 0;
+  for (const TupleVec& v : unresolved) {
+    replicated_count += static_cast<int64_t>(v.size());
+  }
+  PARADISE_ASSIGN_OR_RETURN(PerNode everywhere,
+                            Broadcast(coord, unresolved));
+
+  // Step 4: join-with-aggregate — expanding-circle probes per point.
+  PARADISE_RETURN_IF_ERROR(
+      coord->RunPhase("join with aggregate", [&](int n) -> Status {
+        NodeExecContext nc = MakeNodeContext(cluster, n);
+        if (features_placed[n].empty()) return Status::OK();
+        for (const Tuple& pt : everywhere[n]) {
+          const Point& p = pt.at(point_col).AsPoint();
+          PARADISE_ASSIGN_OR_RETURN(
+              exec::ClosestMatch match,
+              exec::ExpandingCircleClosest(p, features_placed[n], shape_col,
+                                           *trees[n], universe_area, nc.ctx));
+          if (!match.found) continue;
+          Tuple partial;
+          partial.values.push_back(pt.at(point_col));
+          partial.values.push_back(
+              features_placed[n][match.row].at(shape_col));
+          partial.values.push_back(Value(match.distance));
+          partials[n].push_back(std::move(partial));
+        }
+        return Status::OK();
+      }));
+
+  if (stats != nullptr) {
+    stats->local_points = local_count;
+    stats->replicated_points = replicated_count;
+  }
+
+  // Step 5: the single global aggregate operator — min distance per point.
+  TupleVec result;
+  PARADISE_RETURN_IF_ERROR(
+      coord->RunSequential("global aggregate", [&]() -> Status {
+        std::map<std::pair<double, double>, Tuple> best;
+        for (int n = 0; n < N; ++n) {
+          int64_t bytes = 0;
+          for (const Tuple& t : partials[n]) {
+            bytes += static_cast<int64_t>(t.WireBytes());
+            cluster->coordinator_clock()->ChargeCpu(
+                sim::cpu_cost::kTupleOverhead);
+            const Point& p = t.at(0).AsPoint();
+            auto key = std::make_pair(p.x, p.y);
+            auto it = best.find(key);
+            if (it == best.end() ||
+                t.at(2).AsDouble() < it->second.at(2).AsDouble()) {
+              best[key] = t;
+            }
+          }
+          if (bytes > 0) {
+            int64_t messages = (bytes + 8191) / 8192;
+            cluster->node(n).clock()->ChargeNet(messages, bytes);
+            cluster->coordinator_clock()->ChargeNet(messages, bytes);
+          }
+        }
+        for (auto& [key, t] : best) result.push_back(std::move(t));
+        return Status::OK();
+      }));
+  return result;
+}
+
+namespace {
+
+/// Deep copy of a raster's tiles onto `dest_node` (copy-on-insert).
+StatusOr<array::Raster> CopyRasterTo(Cluster* cluster, int dest_node,
+                                     const array::Raster& raster) {
+  PullTileSource pull(cluster, static_cast<uint32_t>(dest_node));
+  PARADISE_ASSIGN_OR_RETURN(ByteBuffer data,
+                            array::ReadFull(raster.handle, &pull));
+  Node& dest = cluster->node(dest_node);
+  array::Raster copy;
+  copy.geo = raster.geo;
+  PARADISE_ASSIGN_OR_RETURN(
+      copy.handle,
+      array::StoreArray(data.data(), raster.handle.dims,
+                        raster.handle.elem_size, dest.lob_store(),
+                        dest.clock(), /*compress=*/true,
+                        array::kDefaultTileBytes,
+                        static_cast<uint32_t>(dest_node)));
+  return copy;
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<ParallelTable>> StoreResult(QueryCoordinator* coord,
+                                                     const PerNode& input,
+                                                     catalog::TableDef def) {
+  Cluster* cluster = coord->cluster();
+  int N = cluster->num_nodes();
+
+  // Destination assignment: round-robin over the flattened result.
+  PerNode placed(N);
+  PARADISE_RETURN_IF_ERROR(
+      coord->RunPhase("copy on insert", [&](int n) -> Status {
+        sim::NodeClock* clock = cluster->node(n).clock();
+        for (size_t i = 0; i < input[n].size(); ++i) {
+          int dest = static_cast<int>((i * N + n) % N);
+          Tuple copy = input[n][i];
+          // Deep-copy large attributes to the destination (pulling tiles).
+          for (Value& v : copy.values) {
+            if (v.type() == ValueType::kRaster) {
+              PARADISE_ASSIGN_OR_RETURN(
+                  array::Raster moved,
+                  CopyRasterTo(cluster, dest, *v.AsRaster()));
+              v = Value(std::move(moved));
+            }
+          }
+          size_t wire = copy.WireBytes();
+          clock->ChargeCpu(sim::cpu_cost::kTupleOverhead);
+          if (dest != n) {
+            cluster->ChargeTransfer(static_cast<uint32_t>(n),
+                                    static_cast<uint32_t>(dest),
+                                    static_cast<int64_t>(wire));
+          }
+          placed[dest].push_back(std::move(copy));
+        }
+        return Status::OK();
+      }));
+
+  // Physically insert into fresh fragments. The copy/transfer phase above
+  // already charged data movement, so load round-robin over the placed
+  // order (which is already round-robin) to keep placement consistent.
+  std::vector<Tuple> all;
+  for (TupleVec& v : placed) {
+    for (Tuple& t : v) all.push_back(std::move(t));
+  }
+  def.partitioning = catalog::PartitioningKind::kRoundRobin;
+  return ParallelTable::Load(cluster, std::move(def), all);
+}
+
+}  // namespace paradise::core

@@ -1,0 +1,135 @@
+#ifndef PARADISE_CORE_SPATIAL_GRID_H_
+#define PARADISE_CORE_SPATIAL_GRID_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+#include "geom/box.h"
+
+namespace paradise::core {
+
+/// The spatial declustering scheme of Sections 2.7.1 and Query 12: the
+/// universe is cut into tiles_per_axis^2 tiles, numbered row-major from
+/// the upper-left corner; each tile is mapped to a node by hashing its
+/// number. Tuples go to every node owning a tile their MBR overlaps
+/// (replication); exactly one copy — the one at the tile holding the
+/// feature's reference point — is the *primary* copy.
+class SpatialGrid {
+ public:
+  /// The paper breaks the universe into 10,000 tiles (100 x 100).
+  static constexpr uint32_t kDefaultTilesPerAxis = 100;
+
+  SpatialGrid() = default;
+  SpatialGrid(const geom::Box& universe, uint32_t tiles_per_axis,
+              uint32_t num_nodes)
+      : universe_(universe),
+        tiles_per_axis_(tiles_per_axis),
+        num_nodes_(num_nodes) {
+    PARADISE_CHECK(tiles_per_axis > 0 && num_nodes > 0);
+    PARADISE_CHECK(!universe.IsEmpty());
+  }
+
+  const geom::Box& universe() const { return universe_; }
+  uint32_t tiles_per_axis() const { return tiles_per_axis_; }
+  uint32_t num_tiles() const { return tiles_per_axis_ * tiles_per_axis_; }
+  uint32_t num_nodes() const { return num_nodes_; }
+
+  /// Tile numbering is row-major starting at the upper-left corner
+  /// (max y, min x), as Query 12's description specifies.
+  uint32_t TileOfPoint(const geom::Point& p) const {
+    uint32_t cx = CoordToCell(p.x - universe_.xmin, universe_.Width());
+    uint32_t cy = CoordToCell(universe_.ymax - p.y, universe_.Height());
+    return cy * tiles_per_axis_ + cx;
+  }
+
+  /// Node owning a tile: hash on the tile number.
+  uint32_t NodeOfTile(uint32_t tile) const {
+    // Fibonacci hashing spreads consecutive tiles across nodes.
+    uint64_t h = tile * 0x9e3779b97f4a7c15ULL;
+    return static_cast<uint32_t>((h >> 32) % num_nodes_);
+  }
+
+  uint32_t NodeOfPoint(const geom::Point& p) const {
+    return NodeOfTile(TileOfPoint(p));
+  }
+
+  /// Geographic extent of a tile.
+  geom::Box TileBox(uint32_t tile) const {
+    uint32_t cx = tile % tiles_per_axis_;
+    uint32_t cy = tile / tiles_per_axis_;
+    double w = universe_.Width() / tiles_per_axis_;
+    double h = universe_.Height() / tiles_per_axis_;
+    double x0 = universe_.xmin + cx * w;
+    double y1 = universe_.ymax - cy * h;
+    return geom::Box(x0, y1 - h, x0 + w, y1);
+  }
+
+  /// All tiles a box overlaps (the replication set).
+  std::vector<uint32_t> TilesOfBox(const geom::Box& b) const {
+    uint32_t cx0 = CoordToCell(b.xmin - universe_.xmin, universe_.Width());
+    uint32_t cx1 = CoordToCell(b.xmax - universe_.xmin, universe_.Width());
+    uint32_t cy0 = CoordToCell(universe_.ymax - b.ymax, universe_.Height());
+    uint32_t cy1 = CoordToCell(universe_.ymax - b.ymin, universe_.Height());
+    std::vector<uint32_t> tiles;
+    tiles.reserve(static_cast<size_t>(cx1 - cx0 + 1) * (cy1 - cy0 + 1));
+    for (uint32_t cy = cy0; cy <= cy1; ++cy) {
+      for (uint32_t cx = cx0; cx <= cx1; ++cx) {
+        tiles.push_back(cy * tiles_per_axis_ + cx);
+      }
+    }
+    return tiles;
+  }
+
+  /// Distinct destination nodes for a feature with MBR `b`.
+  std::vector<uint32_t> NodesOfBox(const geom::Box& b) const {
+    std::vector<uint8_t> seen(num_nodes_, 0);
+    std::vector<uint32_t> nodes;
+    for (uint32_t t : TilesOfBox(b)) {
+      uint32_t n = NodeOfTile(t);
+      if (!seen[n]) {
+        seen[n] = 1;
+        nodes.push_back(n);
+      }
+    }
+    return nodes;
+  }
+
+  /// The feature's reference point: the lower-left corner of its MBR
+  /// (clamped into the universe). The tile containing it holds the
+  /// *primary* copy; every query-time duplicate-elimination rule is
+  /// phrased against this point.
+  geom::Point ReferencePoint(const geom::Box& b) const {
+    return ClampToUniverse(geom::Point{b.xmin, b.ymin});
+  }
+
+  uint32_t PrimaryTile(const geom::Box& b) const {
+    return TileOfPoint(ReferencePoint(b));
+  }
+  uint32_t PrimaryNode(const geom::Box& b) const {
+    return NodeOfTile(PrimaryTile(b));
+  }
+
+  geom::Point ClampToUniverse(const geom::Point& p) const {
+    geom::Point q = p;
+    q.x = std::min(std::max(q.x, universe_.xmin), universe_.xmax);
+    q.y = std::min(std::max(q.y, universe_.ymin), universe_.ymax);
+    return q;
+  }
+
+ private:
+  uint32_t CoordToCell(double offset, double extent) const {
+    double f = offset / extent * tiles_per_axis_;
+    if (f < 0) f = 0;
+    uint32_t c = static_cast<uint32_t>(f);
+    return std::min(c, tiles_per_axis_ - 1);
+  }
+
+  geom::Box universe_;
+  uint32_t tiles_per_axis_ = 1;
+  uint32_t num_nodes_ = 1;
+};
+
+}  // namespace paradise::core
+
+#endif  // PARADISE_CORE_SPATIAL_GRID_H_

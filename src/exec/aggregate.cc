@@ -1,0 +1,303 @@
+#include "exec/aggregate.h"
+
+#include <limits>
+#include <map>
+
+#include "common/logging.h"
+#include "sim/cost_model.h"
+
+namespace paradise::exec {
+
+namespace {
+
+// ---- count ----
+
+class CountAggregate : public Aggregate {
+ public:
+  std::any Init() const override { return int64_t{0}; }
+  Status Local(std::any* state, const Tuple&,
+               const ExecContext& ctx) const override {
+    ctx.ChargeCpu(sim::cpu_cost::kCompare);
+    *state = std::any_cast<int64_t>(*state) + 1;
+    return Status::OK();
+  }
+  Status Global(std::any* acc, const std::any& partial) const override {
+    *acc = std::any_cast<int64_t>(*acc) + std::any_cast<int64_t>(partial);
+    return Status::OK();
+  }
+  StatusOr<std::vector<Value>> Final(const std::any& state) const override {
+    return std::vector<Value>{Value(std::any_cast<int64_t>(state))};
+  }
+  std::vector<Value> SaveState(const std::any& state) const override {
+    return {Value(std::any_cast<int64_t>(state))};
+  }
+  std::any LoadState(const std::vector<Value>& values,
+                     size_t* cursor) const override {
+    return values[(*cursor)++].AsInt();
+  }
+  size_t StateWidth() const override { return 1; }
+};
+
+// ---- sum / avg ----
+
+struct SumState {
+  double sum = 0;
+  int64_t count = 0;
+};
+
+class SumAggregate : public Aggregate {
+ public:
+  SumAggregate(ExprPtr input, bool average)
+      : input_(std::move(input)), average_(average) {}
+
+  std::any Init() const override { return SumState{}; }
+  Status Local(std::any* state, const Tuple& tuple,
+               const ExecContext& ctx) const override {
+    PARADISE_ASSIGN_OR_RETURN(Value v, input_->Eval(tuple, ctx));
+    ctx.ChargeCpu(sim::cpu_cost::kCompare);
+    SumState s = std::any_cast<SumState>(*state);
+    s.sum += v.AsNumber();
+    s.count += 1;
+    *state = s;
+    return Status::OK();
+  }
+  Status Global(std::any* acc, const std::any& partial) const override {
+    SumState a = std::any_cast<SumState>(*acc);
+    SumState p = std::any_cast<SumState>(partial);
+    a.sum += p.sum;
+    a.count += p.count;
+    *acc = a;
+    return Status::OK();
+  }
+  StatusOr<std::vector<Value>> Final(const std::any& state) const override {
+    SumState s = std::any_cast<SumState>(state);
+    if (average_) {
+      if (s.count == 0) return std::vector<Value>{Value()};
+      return std::vector<Value>{Value(s.sum / s.count)};
+    }
+    return std::vector<Value>{Value(s.sum)};
+  }
+  std::vector<Value> SaveState(const std::any& state) const override {
+    SumState s = std::any_cast<SumState>(state);
+    return {Value(s.sum), Value(s.count)};
+  }
+  std::any LoadState(const std::vector<Value>& values,
+                     size_t* cursor) const override {
+    SumState s;
+    s.sum = values[(*cursor)++].AsDouble();
+    s.count = values[(*cursor)++].AsInt();
+    return s;
+  }
+  size_t StateWidth() const override { return 2; }
+
+ private:
+  ExprPtr input_;
+  bool average_;
+};
+
+// ---- min / max ----
+
+class MinMaxAggregate : public Aggregate {
+ public:
+  MinMaxAggregate(ExprPtr input, bool is_min)
+      : input_(std::move(input)), is_min_(is_min) {}
+
+  std::any Init() const override { return Value(); }  // null = empty
+  Status Local(std::any* state, const Tuple& tuple,
+               const ExecContext& ctx) const override {
+    PARADISE_ASSIGN_OR_RETURN(Value v, input_->Eval(tuple, ctx));
+    ctx.ChargeCpu(sim::cpu_cost::kCompare);
+    Value cur = std::any_cast<Value>(*state);
+    if (cur.is_null() || (is_min_ ? v.Compare(cur) < 0 : v.Compare(cur) > 0)) {
+      *state = v;
+    }
+    return Status::OK();
+  }
+  Status Global(std::any* acc, const std::any& partial) const override {
+    Value p = std::any_cast<Value>(partial);
+    if (p.is_null()) return Status::OK();
+    Value cur = std::any_cast<Value>(*acc);
+    if (cur.is_null() || (is_min_ ? p.Compare(cur) < 0 : p.Compare(cur) > 0)) {
+      *acc = p;
+    }
+    return Status::OK();
+  }
+  StatusOr<std::vector<Value>> Final(const std::any& state) const override {
+    return std::vector<Value>{std::any_cast<Value>(state)};
+  }
+  std::vector<Value> SaveState(const std::any& state) const override {
+    return {std::any_cast<Value>(state)};
+  }
+  std::any LoadState(const std::vector<Value>& values,
+                     size_t* cursor) const override {
+    return values[(*cursor)++];
+  }
+  size_t StateWidth() const override { return 1; }
+
+ private:
+  ExprPtr input_;
+  bool is_min_;
+};
+
+// ---- closest (the spatial aggregate, Section 2.7.3) ----
+
+struct ClosestState {
+  Value shape;  // null = nothing seen yet
+  double distance = std::numeric_limits<double>::infinity();
+};
+
+class ClosestAggregate : public Aggregate {
+ public:
+  ClosestAggregate(ExprPtr shape, geom::Point point)
+      : shape_(std::move(shape)), point_(point) {}
+
+  std::any Init() const override { return ClosestState{}; }
+  Status Local(std::any* state, const Tuple& tuple,
+               const ExecContext& ctx) const override {
+    PARADISE_ASSIGN_OR_RETURN(Value shape, shape_->Eval(tuple, ctx));
+    PARADISE_ASSIGN_OR_RETURN(double d,
+                              SpatialDistance(Value(point_), shape, ctx));
+    ClosestState s = std::any_cast<ClosestState>(*state);
+    if (d < s.distance) {
+      s.distance = d;
+      s.shape = shape;
+    }
+    *state = s;
+    return Status::OK();
+  }
+  Status Global(std::any* acc, const std::any& partial) const override {
+    ClosestState a = std::any_cast<ClosestState>(*acc);
+    ClosestState p = std::any_cast<ClosestState>(partial);
+    if (p.distance < a.distance) a = p;
+    *acc = a;
+    return Status::OK();
+  }
+  StatusOr<std::vector<Value>> Final(const std::any& state) const override {
+    ClosestState s = std::any_cast<ClosestState>(state);
+    return std::vector<Value>{
+        s.shape, s.shape.is_null() ? Value() : Value(s.distance)};
+  }
+  size_t FinalWidth() const override { return 2; }
+  std::vector<Value> SaveState(const std::any& state) const override {
+    ClosestState s = std::any_cast<ClosestState>(state);
+    return {s.shape, Value(s.distance)};
+  }
+  std::any LoadState(const std::vector<Value>& values,
+                     size_t* cursor) const override {
+    ClosestState s;
+    s.shape = values[(*cursor)++];
+    s.distance = values[(*cursor)++].AsDouble();
+    return s;
+  }
+  size_t StateWidth() const override { return 2; }
+
+ private:
+  ExprPtr shape_;
+  geom::Point point_;
+};
+
+/// Group key wrapper so Values can key a std::map.
+struct GroupKey {
+  std::vector<Value> values;
+  bool operator<(const GroupKey& o) const {
+    for (size_t i = 0; i < values.size(); ++i) {
+      int c = values[i].Compare(o.values[i]);
+      if (c != 0) return c < 0;
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+AggregatePtr MakeCount() { return std::make_shared<CountAggregate>(); }
+AggregatePtr MakeSum(ExprPtr input) {
+  return std::make_shared<SumAggregate>(std::move(input), false);
+}
+AggregatePtr MakeAvg(ExprPtr input) {
+  return std::make_shared<SumAggregate>(std::move(input), true);
+}
+AggregatePtr MakeMin(ExprPtr input) {
+  return std::make_shared<MinMaxAggregate>(std::move(input), true);
+}
+AggregatePtr MakeMax(ExprPtr input) {
+  return std::make_shared<MinMaxAggregate>(std::move(input), false);
+}
+AggregatePtr MakeClosest(ExprPtr shape, geom::Point point) {
+  return std::make_shared<ClosestAggregate>(std::move(shape), point);
+}
+
+StatusOr<std::vector<Tuple>> AggregateLocal(
+    const std::vector<Tuple>& input, const std::vector<size_t>& group_cols,
+    const std::vector<AggregatePtr>& aggs, const ExecContext& ctx) {
+  std::map<GroupKey, std::vector<std::any>> groups;
+  for (const Tuple& t : input) {
+    ctx.ChargeCpu(sim::cpu_cost::kTupleOverhead + sim::cpu_cost::kHash);
+    GroupKey key;
+    key.values.reserve(group_cols.size());
+    for (size_t c : group_cols) key.values.push_back(t.at(c));
+    auto [it, inserted] = groups.try_emplace(std::move(key));
+    if (inserted) {
+      for (const AggregatePtr& a : aggs) it->second.push_back(a->Init());
+    }
+    for (size_t i = 0; i < aggs.size(); ++i) {
+      PARADISE_RETURN_IF_ERROR(aggs[i]->Local(&it->second[i], t, ctx));
+    }
+  }
+  std::vector<Tuple> out;
+  out.reserve(groups.size());
+  for (auto& [key, states] : groups) {
+    Tuple t;
+    t.values = key.values;
+    for (size_t i = 0; i < aggs.size(); ++i) {
+      for (Value& v : aggs[i]->SaveState(states[i])) {
+        t.values.push_back(std::move(v));
+      }
+    }
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+StatusOr<std::vector<Tuple>> AggregateGlobal(
+    const std::vector<Tuple>& partials, size_t num_group_cols,
+    const std::vector<AggregatePtr>& aggs, const ExecContext& ctx) {
+  std::map<GroupKey, std::vector<std::any>> groups;
+  for (const Tuple& t : partials) {
+    ctx.ChargeCpu(sim::cpu_cost::kTupleOverhead + sim::cpu_cost::kHash);
+    GroupKey key;
+    key.values.assign(t.values.begin(), t.values.begin() + num_group_cols);
+    // Unmarshal this partial's states.
+    std::vector<Value> state_values(t.values.begin() + num_group_cols,
+                                    t.values.end());
+    size_t cursor = 0;
+    std::vector<std::any> states;
+    states.reserve(aggs.size());
+    for (const AggregatePtr& a : aggs) {
+      states.push_back(a->LoadState(state_values, &cursor));
+    }
+    auto [it, inserted] = groups.try_emplace(std::move(key));
+    if (inserted) {
+      it->second = std::move(states);
+    } else {
+      for (size_t i = 0; i < aggs.size(); ++i) {
+        PARADISE_RETURN_IF_ERROR(aggs[i]->Global(&it->second[i], states[i]));
+      }
+    }
+  }
+  std::vector<Tuple> out;
+  out.reserve(groups.size());
+  for (auto& [key, states] : groups) {
+    Tuple t;
+    t.values = key.values;
+    for (size_t i = 0; i < aggs.size(); ++i) {
+      PARADISE_ASSIGN_OR_RETURN(std::vector<Value> finals,
+                                aggs[i]->Final(states[i]));
+      for (Value& v : finals) t.values.push_back(std::move(v));
+    }
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+}  // namespace paradise::exec

@@ -1,0 +1,38 @@
+#ifndef PARADISE_EXEC_EXEC_CONTEXT_H_
+#define PARADISE_EXEC_EXEC_CONTEXT_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "array/chunked_array.h"
+#include "sim/node_clock.h"
+#include "storage/large_object.h"
+
+namespace paradise::exec {
+
+/// Everything an operator needs from the node it runs on: the node's
+/// virtual clock for cost charging, a store for large attributes created
+/// mid-query (Section 2.5.2's per-operator files), and a way to read tiles
+/// of rasters owned by *any* node — the local store directly, or the pull
+/// protocol for remote owners.
+struct ExecContext {
+  uint32_t node_id = 0;
+  sim::NodeClock* clock = nullptr;                 // may be null in tests
+  storage::LargeObjectStore* temp_store = nullptr; // for created large attrs
+
+  /// Returns a TileSource able to read tiles of arrays owned by
+  /// `owner_node`. The returned pointer stays valid for the query.
+  std::function<array::TileSource*(uint32_t owner_node)> tile_source;
+
+  void ChargeCpu(double ops) const {
+    if (clock != nullptr) clock->ChargeCpu(ops);
+  }
+
+  array::TileSource* SourceFor(uint32_t owner_node) const {
+    return tile_source ? tile_source(owner_node) : nullptr;
+  }
+};
+
+}  // namespace paradise::exec
+
+#endif  // PARADISE_EXEC_EXEC_CONTEXT_H_

@@ -1,0 +1,305 @@
+#include "exec/spatial_join.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "sim/cost_model.h"
+#include "storage/page.h"
+
+namespace paradise::exec {
+
+namespace {
+
+using geom::Box;
+using geom::Circle;
+using geom::Point;
+
+struct Item {
+  Box box;
+  uint32_t row;
+};
+
+/// Maps a point to its grid cell (clamped to the grid).
+struct Grid {
+  Box universe;
+  size_t cells_x;
+  size_t cells_y;
+
+  size_t CellOf(double x, double y) const {
+    double fx = (x - universe.xmin) / universe.Width();
+    double fy = (y - universe.ymin) / universe.Height();
+    size_t cx = std::min(cells_x - 1,
+                         static_cast<size_t>(std::max(0.0, fx * cells_x)));
+    size_t cy = std::min(cells_y - 1,
+                         static_cast<size_t>(std::max(0.0, fy * cells_y)));
+    return cy * cells_x + cx;
+  }
+
+  /// Cell index range [cx0,cx1]x[cy0,cy1] overlapped by a box.
+  void CellRange(const Box& b, size_t* cx0, size_t* cy0, size_t* cx1,
+                 size_t* cy1) const {
+    *cx0 = std::min(cells_x - 1,
+                    static_cast<size_t>(std::max(
+                        0.0, (b.xmin - universe.xmin) / universe.Width() *
+                                 cells_x)));
+    *cy0 = std::min(cells_y - 1,
+                    static_cast<size_t>(std::max(
+                        0.0, (b.ymin - universe.ymin) / universe.Height() *
+                                 cells_y)));
+    *cx1 = std::min(cells_x - 1,
+                    static_cast<size_t>(std::max(
+                        0.0, (b.xmax - universe.xmin) / universe.Width() *
+                                 cells_x)));
+    *cy1 = std::min(cells_y - 1,
+                    static_cast<size_t>(std::max(
+                        0.0, (b.ymax - universe.ymin) / universe.Height() *
+                                 cells_y)));
+  }
+};
+
+Tuple ConcatTuples(const Tuple& l, const Tuple& r) {
+  Tuple joined;
+  joined.values = l.values;
+  joined.values.insert(joined.values.end(), r.values.begin(), r.values.end());
+  return joined;
+}
+
+}  // namespace
+
+StatusOr<TupleVec> PbsmSpatialJoin(const TupleVec& left, size_t left_col,
+                                   const TupleVec& right, size_t right_col,
+                                   const ExecContext& ctx,
+                                   const PbsmOptions& options) {
+  TupleVec out;
+  if (left.empty() || right.empty()) return out;
+
+  // Universe = union of both inputs' extents.
+  Box universe;
+  for (const Tuple& t : left) universe.ExpandToInclude(t.at(left_col).Mbr());
+  for (const Tuple& t : right) universe.ExpandToInclude(t.at(right_col).Mbr());
+  if (universe.Width() <= 0 || universe.Height() <= 0) {
+    universe = universe.Inflate(1.0);
+  }
+
+  size_t P = std::max<size_t>(1, options.num_partitions);
+  size_t cells_axis = options.cells_per_axis;
+  if (cells_axis == 0) {
+    cells_axis = std::max<size_t>(
+        1, static_cast<size_t>(std::ceil(std::sqrt(16.0 * P))));
+  }
+  Grid grid{universe, cells_axis, cells_axis};
+  size_t num_cells = cells_axis * cells_axis;
+  auto partition_of_cell = [&](size_t cell) { return cell % P; };
+
+  // Phase 1: replicate each tuple's (MBR, row) into every partition whose
+  // cells its MBR overlaps.
+  auto distribute = [&](const TupleVec& tuples, size_t col,
+                        std::vector<std::vector<Item>>* parts) {
+    parts->assign(P, {});
+    std::vector<uint8_t> seen(P, 0);
+    for (uint32_t i = 0; i < tuples.size(); ++i) {
+      ctx.ChargeCpu(sim::cpu_cost::kTupleOverhead);
+      Box b = tuples[i].at(col).Mbr();
+      size_t cx0, cy0, cx1, cy1;
+      grid.CellRange(b, &cx0, &cy0, &cx1, &cy1);
+      std::fill(seen.begin(), seen.end(), 0);
+      for (size_t cy = cy0; cy <= cy1; ++cy) {
+        for (size_t cx = cx0; cx <= cx1; ++cx) {
+          size_t p = partition_of_cell(cy * cells_axis + cx);
+          if (!seen[p]) {
+            seen[p] = 1;
+            (*parts)[p].push_back(Item{b, i});
+          }
+        }
+      }
+    }
+  };
+  std::vector<std::vector<Item>> left_parts, right_parts;
+  distribute(left, left_col, &left_parts);
+  distribute(right, right_col, &right_parts);
+  (void)num_cells;
+
+  // Phase 2: per partition, plane sweep on xmin for candidate pairs.
+  for (size_t p = 0; p < P; ++p) {
+    std::vector<Item>& L = left_parts[p];
+    std::vector<Item>& R = right_parts[p];
+    if (L.empty() || R.empty()) continue;
+    auto by_xmin = [](const Item& a, const Item& b) {
+      return a.box.xmin < b.box.xmin;
+    };
+    std::sort(L.begin(), L.end(), by_xmin);
+    std::sort(R.begin(), R.end(), by_xmin);
+    double nl = static_cast<double>(L.size());
+    double nr = static_cast<double>(R.size());
+    ctx.ChargeCpu((nl * std::log2(nl + 1) + nr * std::log2(nr + 1)) *
+                  sim::cpu_cost::kCompare);
+
+    auto sweep_pair = [&](const Item& a, const Item& b,
+                          bool a_is_left) -> Status {
+      ctx.ChargeCpu(sim::cpu_cost::kCompare);
+      if (!a.box.Intersects(b.box)) return Status::OK();
+      const Item& li = a_is_left ? a : b;
+      const Item& ri = a_is_left ? b : a;
+      // Reference-point duplicate elimination: only the partition owning
+      // the cell that contains the intersection's lower-left corner
+      // reports the pair.
+      double rx = std::max(li.box.xmin, ri.box.xmin);
+      double ry = std::max(li.box.ymin, ri.box.ymin);
+      if (partition_of_cell(grid.CellOf(rx, ry)) != p) return Status::OK();
+      const Tuple& lt = left[li.row];
+      const Tuple& rt = right[ri.row];
+      PARADISE_ASSIGN_OR_RETURN(
+          bool hit,
+          SpatialIntersects(lt.at(left_col), rt.at(right_col), ctx));
+      if (hit) out.push_back(ConcatTuples(lt, rt));
+      return Status::OK();
+    };
+
+    // Forward plane sweep over both sorted lists.
+    size_t i = 0, j = 0;
+    while (i < L.size() && j < R.size()) {
+      if (L[i].box.xmin <= R[j].box.xmin) {
+        for (size_t k = j; k < R.size() && R[k].box.xmin <= L[i].box.xmax;
+             ++k) {
+          PARADISE_RETURN_IF_ERROR(sweep_pair(L[i], R[k], true));
+        }
+        ++i;
+      } else {
+        for (size_t k = i; k < L.size() && L[k].box.xmin <= R[j].box.xmax;
+             ++k) {
+          PARADISE_RETURN_IF_ERROR(sweep_pair(R[j], L[k], false));
+        }
+        ++j;
+      }
+    }
+  }
+  return out;
+}
+
+void IndexProbeCharger::ChargeVisits(int64_t visited) {
+  int64_t cold = std::min(visited, cold_remaining_);
+  cold_remaining_ -= cold;
+  if (ctx_.clock != nullptr && cold > 0) {
+    ctx_.clock->ChargeDiskRead(cold * storage::kPageSize, cold);
+  }
+  ctx_.ChargeCpu(static_cast<double>(visited - cold) *
+                 sim::cpu_cost::kIndexNodeVisit);
+}
+
+StatusOr<TupleVec> IndexSpatialJoin(const TupleVec& outer, size_t outer_col,
+                                    const TupleVec& inner, size_t inner_col,
+                                    const index::RStarTree& inner_index,
+                                    const ExecContext& ctx) {
+  TupleVec out;
+  IndexProbeCharger charger(ctx, inner_index.num_nodes());
+  for (const Tuple& o : outer) {
+    ctx.ChargeCpu(sim::cpu_cost::kTupleOverhead + sim::cpu_cost::kIndexProbe);
+    Box probe = o.at(outer_col).Mbr();
+    int64_t nodes = 0;
+    std::vector<uint64_t> candidates;
+    inner_index.SearchOverlap(
+        probe,
+        [&](const Box&, uint64_t row) {
+          candidates.push_back(row);
+          return true;
+        },
+        &nodes);
+    charger.ChargeVisits(nodes);
+    for (uint64_t row : candidates) {
+      const Tuple& it = inner[row];
+      PARADISE_ASSIGN_OR_RETURN(
+          bool hit, SpatialIntersects(o.at(outer_col), it.at(inner_col), ctx));
+      if (hit) out.push_back(ConcatTuples(o, it));
+    }
+  }
+  return out;
+}
+
+StatusOr<ClosestMatch> ExpandingCircleClosest(const Point& point,
+                                              const TupleVec& targets,
+                                              size_t shape_col,
+                                              const index::RStarTree& index,
+                                              double universe_area,
+                                              const ExecContext& ctx) {
+  ClosestMatch best;
+  if (targets.empty()) return best;
+
+  // Initial circle: one millionth of the universe's area.
+  double radius = std::sqrt(universe_area / 1e6 / M_PI);
+  double universe_radius = std::sqrt(universe_area);  // generous cover bound
+  Value point_value(point);
+
+  while (true) {
+    ++best.probes;
+    ctx.ChargeCpu(sim::cpu_cost::kIndexProbe);
+    int64_t nodes = 0;
+    double best_d = std::numeric_limits<double>::infinity();
+    size_t best_row = 0;
+    index.SearchCircle(
+        Circle(point, radius),
+        [&](const Box&, uint64_t row) {
+          const Tuple& t = targets[row];
+          auto d_or = SpatialDistance(point_value, t.at(shape_col), ctx);
+          if (d_or.ok() && *d_or < best_d) {
+            best_d = *d_or;
+            best_row = row;
+          }
+          return true;
+        },
+        &nodes);
+    // The tree is memory resident (built on the fly from redistributed
+    // tuples), so probing costs CPU, not I/O.
+    ctx.ChargeCpu(static_cast<double>(nodes) * sim::cpu_cost::kIndexNodeVisit);
+    if (best_d <= radius) {
+      best.found = true;
+      best.row = best_row;
+      best.distance = best_d;
+      return best;
+    }
+    if (radius > universe_radius) break;
+    radius *= std::sqrt(2.0);  // double the circle's area
+  }
+
+  // Fall back to a full scan (the circle escaped the universe).
+  double best_d = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < targets.size(); ++i) {
+    ctx.ChargeCpu(sim::cpu_cost::kTupleOverhead);
+    PARADISE_ASSIGN_OR_RETURN(
+        double d, SpatialDistance(point_value, targets[i].at(shape_col), ctx));
+    if (d < best_d) {
+      best_d = d;
+      best.row = i;
+      best.found = true;
+    }
+  }
+  best.distance = best_d;
+  return best;
+}
+
+std::unique_ptr<index::RStarTree> BuildRTreeOnColumn(const TupleVec& tuples,
+                                                     size_t shape_col,
+                                                     const ExecContext& ctx,
+                                                     bool bulk_load) {
+  ctx.ChargeCpu(static_cast<double>(tuples.size()) *
+                (sim::cpu_cost::kTupleOverhead + sim::cpu_cost::kHash));
+  if (bulk_load) {
+    std::vector<std::pair<Box, uint64_t>> entries;
+    entries.reserve(tuples.size());
+    for (uint64_t i = 0; i < tuples.size(); ++i) {
+      entries.emplace_back(tuples[i].at(shape_col).Mbr(), i);
+    }
+    if (ctx.clock != nullptr && !tuples.empty()) {
+      double n = static_cast<double>(tuples.size());
+      ctx.clock->ChargeCpu(n * std::log2(n + 1) * sim::cpu_cost::kCompare);
+    }
+    return index::RStarTree::BulkLoadStr(std::move(entries));
+  }
+  auto tree = std::make_unique<index::RStarTree>();
+  for (uint64_t i = 0; i < tuples.size(); ++i) {
+    tree->Insert(tuples[i].at(shape_col).Mbr(), i);
+  }
+  return tree;
+}
+
+}  // namespace paradise::exec

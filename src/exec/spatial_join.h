@@ -1,0 +1,84 @@
+#ifndef PARADISE_EXEC_SPATIAL_JOIN_H_
+#define PARADISE_EXEC_SPATIAL_JOIN_H_
+
+#include <vector>
+
+#include "exec/exec_context.h"
+#include "exec/operators.h"
+#include "exec/tuple.h"
+#include "index/r_star_tree.h"
+
+namespace paradise::exec {
+
+struct PbsmOptions {
+  /// Join partitions per node. [Pate96] uses many more partitions than
+  /// would fit-by-size to smooth skew; cells are mapped to partitions
+  /// round-robin to decorrelate hot regions.
+  size_t num_partitions = 32;
+  /// Grid resolution; 0 = auto (~16 cells per partition).
+  size_t cells_per_axis = 0;
+};
+
+/// Partition Based Spatial-Merge join [Pate96]: grid-partition both
+/// inputs' MBRs with replication, plane-sweep each partition for candidate
+/// pairs, drop duplicates by the reference-point rule, and run the exact
+/// geometry test on survivors. This is the local (single-node) algorithm
+/// used in phase two of the parallel spatial join (Section 2.7.2).
+StatusOr<TupleVec> PbsmSpatialJoin(const TupleVec& left, size_t left_col,
+                                   const TupleVec& right, size_t right_col,
+                                   const ExecContext& ctx,
+                                   const PbsmOptions& options = {});
+
+/// Charges index-probe I/O with buffer-pool awareness: node visits pay a
+/// cold random page read until the cumulative reads cover the whole index
+/// once (after which the ~page-sized nodes are pool-resident and visits
+/// cost CPU only). Mirrors how a 32 MB pool treats a sub-MB index under a
+/// probe-heavy join.
+class IndexProbeCharger {
+ public:
+  IndexProbeCharger(const ExecContext& ctx, size_t index_nodes)
+      : ctx_(ctx), cold_remaining_(static_cast<int64_t>(index_nodes)) {}
+
+  void ChargeVisits(int64_t visited);
+
+ private:
+  const ExecContext& ctx_;
+  int64_t cold_remaining_;
+};
+
+/// Index nested loops spatial join: probe an R*-tree on the inner's shape
+/// column with each outer MBR, then exact-test candidates. Used when an
+/// R-tree exists on the join attribute (Section 2.4).
+StatusOr<TupleVec> IndexSpatialJoin(const TupleVec& outer, size_t outer_col,
+                                    const TupleVec& inner, size_t inner_col,
+                                    const index::RStarTree& inner_index,
+                                    const ExecContext& ctx);
+
+/// One step of the `closest` machinery: finds the inner row closest to
+/// `point` by expanding-circle index probes (Section 2.7.3 / Query 12's
+/// join-with-aggregate operator). The initial circle has one millionth of
+/// `universe_area`; each miss doubles the area; past the universe bound it
+/// degenerates to a full scan.
+struct ClosestMatch {
+  bool found = false;
+  size_t row = 0;
+  double distance = 0.0;
+  int probes = 0;  // circle expansions used
+};
+StatusOr<ClosestMatch> ExpandingCircleClosest(const geom::Point& point,
+                                              const TupleVec& targets,
+                                              size_t shape_col,
+                                              const index::RStarTree& index,
+                                              double universe_area,
+                                              const ExecContext& ctx);
+
+/// Builds an R*-tree over the MBRs of `tuples[...][shape_col]`, entry id =
+/// row index — the "index built on the fly" of Query 12 step 3.
+std::unique_ptr<index::RStarTree> BuildRTreeOnColumn(const TupleVec& tuples,
+                                                     size_t shape_col,
+                                                     const ExecContext& ctx,
+                                                     bool bulk_load = true);
+
+}  // namespace paradise::exec
+
+#endif  // PARADISE_EXEC_SPATIAL_JOIN_H_

@@ -1,0 +1,125 @@
+#ifndef PARADISE_EXEC_STREAM_H_
+#define PARADISE_EXEC_STREAM_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "common/logging.h"
+#include "exec/tuple.h"
+
+namespace paradise::exec {
+
+/// Bounded tuple queue connecting operators — Paradise's stream
+/// abstraction (Section 2.3). The bound is the flow-control mechanism that
+/// "regulates the execution rates of the different operators": a fast
+/// producer blocks until the consumer catches up.
+///
+/// Multi-producer (each producer holds one writer handle), single- or
+/// multi-consumer.
+class TupleStream {
+ public:
+  explicit TupleStream(size_t capacity = 4096) : capacity_(capacity) {}
+
+  TupleStream(const TupleStream&) = delete;
+  TupleStream& operator=(const TupleStream&) = delete;
+
+  /// Registers a producer. Call before any thread pushes.
+  void AddWriter() {
+    std::lock_guard<std::mutex> g(mu_);
+    ++writers_;
+  }
+
+  /// Blocks while the stream is full (flow control).
+  void Push(Tuple tuple) {
+    std::unique_lock<std::mutex> lk(mu_);
+    not_full_.wait(lk, [&] { return queue_.size() < capacity_; });
+    queue_.push_back(std::move(tuple));
+    not_empty_.notify_one();
+  }
+
+  /// Producer is done; the stream ends when all writers closed and the
+  /// queue drains.
+  void CloseWriter() {
+    std::lock_guard<std::mutex> g(mu_);
+    PARADISE_CHECK(writers_ > 0);
+    --writers_;
+    if (writers_ == 0) not_empty_.notify_all();
+  }
+
+  /// Blocks for the next tuple; returns false at end of stream.
+  bool Pop(Tuple* out) {
+    std::unique_lock<std::mutex> lk(mu_);
+    not_empty_.wait(lk, [&] { return !queue_.empty() || writers_ == 0; });
+    if (queue_.empty()) return false;
+    *out = std::move(queue_.front());
+    queue_.pop_front();
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// Drains the entire stream (blocks until all writers close).
+  std::vector<Tuple> DrainAll() {
+    std::vector<Tuple> out;
+    Tuple t;
+    while (Pop(&t)) out.push_back(std::move(t));
+    return out;
+  }
+
+ private:
+  const size_t capacity_;
+  std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<Tuple> queue_;
+  int writers_ = 0;
+};
+
+/// Demultiplexes one logical output onto N streams using a routing
+/// function — the split stream that parallelizes queries (Section 2.3).
+/// The route function may name several destinations (replication of
+/// spanning spatial features, Section 2.7.1).
+class SplitStream {
+ public:
+  using RouteFn =
+      std::function<void(const Tuple&, std::vector<uint32_t>* destinations)>;
+
+  SplitStream(std::vector<TupleStream*> outputs, RouteFn route)
+      : outputs_(std::move(outputs)), route_(std::move(route)) {
+    for (TupleStream* s : outputs_) s->AddWriter();
+  }
+
+  ~SplitStream() { Close(); }
+
+  SplitStream(const SplitStream&) = delete;
+  SplitStream& operator=(const SplitStream&) = delete;
+
+  void Push(const Tuple& tuple) {
+    destinations_.clear();
+    route_(tuple, &destinations_);
+    for (uint32_t d : destinations_) {
+      PARADISE_DCHECK(d < outputs_.size());
+      outputs_[d]->Push(tuple);
+    }
+  }
+
+  void Close() {
+    if (closed_) return;
+    closed_ = true;
+    for (TupleStream* s : outputs_) s->CloseWriter();
+  }
+
+  size_t num_outputs() const { return outputs_.size(); }
+
+ private:
+  std::vector<TupleStream*> outputs_;
+  RouteFn route_;
+  std::vector<uint32_t> destinations_;
+  bool closed_ = false;
+};
+
+}  // namespace paradise::exec
+
+#endif  // PARADISE_EXEC_STREAM_H_

@@ -1,0 +1,72 @@
+#include "geom/algorithms.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace paradise::geom {
+
+namespace {
+constexpr double kEps = 1e-12;
+}  // namespace
+
+int Orientation(const Point& a, const Point& b, const Point& c) {
+  double v = (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);
+  if (v > kEps) return 1;
+  if (v < -kEps) return -1;
+  return 0;
+}
+
+bool OnSegment(const Point& p, const Point& a, const Point& b) {
+  if (Orientation(a, b, p) != 0) return false;
+  return p.x >= std::min(a.x, b.x) - kEps && p.x <= std::max(a.x, b.x) + kEps &&
+         p.y >= std::min(a.y, b.y) - kEps && p.y <= std::max(a.y, b.y) + kEps;
+}
+
+bool SegmentsIntersect(const Point& p1, const Point& p2, const Point& q1,
+                       const Point& q2) {
+  int o1 = Orientation(p1, p2, q1);
+  int o2 = Orientation(p1, p2, q2);
+  int o3 = Orientation(q1, q2, p1);
+  int o4 = Orientation(q1, q2, p2);
+
+  if (o1 != o2 && o3 != o4) return true;
+
+  // Collinear special cases.
+  if (o1 == 0 && OnSegment(q1, p1, p2)) return true;
+  if (o2 == 0 && OnSegment(q2, p1, p2)) return true;
+  if (o3 == 0 && OnSegment(p1, q1, q2)) return true;
+  if (o4 == 0 && OnSegment(p2, q1, q2)) return true;
+  return false;
+}
+
+double PointSegmentDistance(const Point& p, const Point& a, const Point& b) {
+  double abx = b.x - a.x;
+  double aby = b.y - a.y;
+  double len2 = abx * abx + aby * aby;
+  if (len2 <= kEps) return Distance(p, a);  // degenerate segment
+  double t = ((p.x - a.x) * abx + (p.y - a.y) * aby) / len2;
+  t = std::clamp(t, 0.0, 1.0);
+  Point proj{a.x + t * abx, a.y + t * aby};
+  return Distance(p, proj);
+}
+
+bool SegmentIntersectsBox(const Point& a, const Point& b, const Box& box) {
+  if (box.IsEmpty()) return false;
+  if (box.Contains(a) || box.Contains(b)) return true;
+  // Trivial reject: both endpoints strictly on one outside side.
+  if ((a.x < box.xmin && b.x < box.xmin) ||
+      (a.x > box.xmax && b.x > box.xmax) ||
+      (a.y < box.ymin && b.y < box.ymin) ||
+      (a.y > box.ymax && b.y > box.ymax)) {
+    return false;
+  }
+  // Exact: does the segment cross any box edge?
+  Point c1{box.xmin, box.ymin};
+  Point c2{box.xmax, box.ymin};
+  Point c3{box.xmax, box.ymax};
+  Point c4{box.xmin, box.ymax};
+  return SegmentsIntersect(a, b, c1, c2) || SegmentsIntersect(a, b, c2, c3) ||
+         SegmentsIntersect(a, b, c3, c4) || SegmentsIntersect(a, b, c4, c1);
+}
+
+}  // namespace paradise::geom

@@ -1,0 +1,32 @@
+#ifndef PARADISE_GEOM_ALGORITHMS_H_
+#define PARADISE_GEOM_ALGORITHMS_H_
+
+#include "geom/box.h"
+#include "geom/point.h"
+
+namespace paradise::geom {
+
+/// Low-level computational-geometry primitives shared by the polyline and
+/// polygon ADTs and by the spatial join's exact-test phase.
+
+/// Sign of the cross product (b-a) x (c-a): >0 counter-clockwise,
+/// <0 clockwise, 0 collinear (within eps).
+int Orientation(const Point& a, const Point& b, const Point& c);
+
+/// True if point `p` lies on segment [a, b] (within eps).
+bool OnSegment(const Point& p, const Point& a, const Point& b);
+
+/// True if closed segments [p1,p2] and [q1,q2] share at least one point.
+bool SegmentsIntersect(const Point& p1, const Point& p2, const Point& q1,
+                       const Point& q2);
+
+/// Euclidean distance from `p` to the closed segment [a, b].
+double PointSegmentDistance(const Point& p, const Point& a, const Point& b);
+
+/// True if segment [a, b] has any point inside or on `box`
+/// (Cohen-Sutherland style trivial accept/reject plus exact tests).
+bool SegmentIntersectsBox(const Point& a, const Point& b, const Box& box);
+
+}  // namespace paradise::geom
+
+#endif  // PARADISE_GEOM_ALGORITHMS_H_

@@ -1,0 +1,119 @@
+#ifndef PARADISE_GEOM_BOX_H_
+#define PARADISE_GEOM_BOX_H_
+
+#include <algorithm>
+#include <limits>
+#include <string>
+
+#include "geom/point.h"
+
+namespace paradise::geom {
+
+/// Axis-aligned rectangle; the minimum bounding rectangle (MBR) type used
+/// throughout indexing and spatial partitioning. An *empty* box has
+/// xmin > xmax and intersects/contains nothing.
+struct Box {
+  double xmin = std::numeric_limits<double>::infinity();
+  double ymin = std::numeric_limits<double>::infinity();
+  double xmax = -std::numeric_limits<double>::infinity();
+  double ymax = -std::numeric_limits<double>::infinity();
+
+  Box() = default;
+  Box(double x0, double y0, double x1, double y1)
+      : xmin(x0), ymin(y0), xmax(x1), ymax(y1) {}
+
+  static Box Empty() { return Box(); }
+
+  /// The square of side `length` centered at `c` — the benchmark's
+  /// `location.makeBox(LENGTH)` (Query 8).
+  static Box MakeBox(const Point& c, double length) {
+    double h = length / 2.0;
+    return Box(c.x - h, c.y - h, c.x + h, c.y + h);
+  }
+
+  bool IsEmpty() const { return xmin > xmax || ymin > ymax; }
+
+  double Width() const { return IsEmpty() ? 0.0 : xmax - xmin; }
+  double Height() const { return IsEmpty() ? 0.0 : ymax - ymin; }
+  double Area() const { return Width() * Height(); }
+  /// Half-perimeter; the R*-tree margin metric.
+  double Margin() const { return Width() + Height(); }
+
+  Point Center() const {
+    return Point{(xmin + xmax) / 2.0, (ymin + ymax) / 2.0};
+  }
+
+  bool Contains(const Point& p) const {
+    return p.x >= xmin && p.x <= xmax && p.y >= ymin && p.y <= ymax;
+  }
+
+  bool Contains(const Box& b) const {
+    if (b.IsEmpty()) return true;
+    return b.xmin >= xmin && b.xmax <= xmax && b.ymin >= ymin && b.ymax <= ymax;
+  }
+
+  bool Intersects(const Box& b) const {
+    if (IsEmpty() || b.IsEmpty()) return false;
+    return xmin <= b.xmax && b.xmin <= xmax && ymin <= b.ymax && b.ymin <= ymax;
+  }
+
+  Box Intersection(const Box& b) const {
+    Box r(std::max(xmin, b.xmin), std::max(ymin, b.ymin),
+          std::min(xmax, b.xmax), std::min(ymax, b.ymax));
+    return r.IsEmpty() ? Empty() : r;
+  }
+
+  void ExpandToInclude(const Point& p) {
+    xmin = std::min(xmin, p.x);
+    ymin = std::min(ymin, p.y);
+    xmax = std::max(xmax, p.x);
+    ymax = std::max(ymax, p.y);
+  }
+
+  void ExpandToInclude(const Box& b) {
+    if (b.IsEmpty()) return;
+    xmin = std::min(xmin, b.xmin);
+    ymin = std::min(ymin, b.ymin);
+    xmax = std::max(xmax, b.xmax);
+    ymax = std::max(ymax, b.ymax);
+  }
+
+  Box Union(const Box& b) const {
+    Box r = *this;
+    r.ExpandToInclude(b);
+    return r;
+  }
+
+  /// Grows the box by `margin` on every side.
+  Box Inflate(double margin) const {
+    return Box(xmin - margin, ymin - margin, xmax + margin, ymax + margin);
+  }
+
+  /// Minimum distance from `p` to any point of the box; 0 if inside.
+  double DistanceTo(const Point& p) const {
+    double dx = std::max({xmin - p.x, 0.0, p.x - xmax});
+    double dy = std::max({ymin - p.y, 0.0, p.y - ymax});
+    return std::sqrt(dx * dx + dy * dy);
+  }
+
+  /// Distance from `p` to the boundary (not the interior) of the box.
+  /// For a point inside, this is the clearance to the nearest side — the
+  /// radius of the largest circle around `p` fully inside the box, which
+  /// the spatial semi-join uses (Section 2.7.3 / Query 12).
+  double BoundaryDistanceFrom(const Point& p) const {
+    if (!Contains(p)) return DistanceTo(p);
+    return std::min(std::min(p.x - xmin, xmax - p.x),
+                    std::min(p.y - ymin, ymax - p.y));
+  }
+
+  friend bool operator==(const Box& a, const Box& b) {
+    return a.xmin == b.xmin && a.ymin == b.ymin && a.xmax == b.xmax &&
+           a.ymax == b.ymax;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace paradise::geom
+
+#endif  // PARADISE_GEOM_BOX_H_

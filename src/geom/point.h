@@ -1,0 +1,33 @@
+#ifndef PARADISE_GEOM_POINT_H_
+#define PARADISE_GEOM_POINT_H_
+
+#include <cmath>
+#include <string>
+
+namespace paradise::geom {
+
+/// A 2-D point in the data set's geo-registered coordinate system.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point& a, const Point& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+
+  std::string ToString() const;
+};
+
+inline double DistanceSquared(const Point& a, const Point& b) {
+  double dx = a.x - b.x;
+  double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+inline double Distance(const Point& a, const Point& b) {
+  return std::sqrt(DistanceSquared(a, b));
+}
+
+}  // namespace paradise::geom
+
+#endif  // PARADISE_GEOM_POINT_H_

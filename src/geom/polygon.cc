@@ -1,0 +1,253 @@
+#include "geom/polygon.h"
+
+#include <cmath>
+#include <limits>
+
+#include "geom/algorithms.h"
+#include "geom/polyline.h"
+
+namespace paradise::geom {
+
+Polygon::Polygon(std::vector<Point> ring) : ring_(std::move(ring)) {
+  for (const Point& p : ring_) mbr_.ExpandToInclude(p);
+}
+
+double Polygon::Area() const {
+  if (ring_.size() < 3) return 0.0;
+  double sum = 0.0;
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    const Point& a = ring_[i];
+    const Point& b = ring_[(i + 1) % ring_.size()];
+    sum += a.x * b.y - b.x * a.y;
+  }
+  return std::fabs(sum) / 2.0;
+}
+
+Point Polygon::Centroid() const {
+  if (ring_.empty()) return Point{};
+  if (ring_.size() < 3) return ring_[0];
+  double cx = 0.0, cy = 0.0, a = 0.0;
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    const Point& p = ring_[i];
+    const Point& q = ring_[(i + 1) % ring_.size()];
+    double cross = p.x * q.y - q.x * p.y;
+    a += cross;
+    cx += (p.x + q.x) * cross;
+    cy += (p.y + q.y) * cross;
+  }
+  if (std::fabs(a) < 1e-12) return mbr_.Center();  // degenerate ring
+  a /= 2.0;
+  return Point{cx / (6.0 * a), cy / (6.0 * a)};
+}
+
+bool Polygon::Contains(const Point& p) const {
+  if (ring_.size() < 3 || !mbr_.Contains(p)) return false;
+  bool inside = false;
+  for (size_t i = 0, j = ring_.size() - 1; i < ring_.size(); j = i++) {
+    const Point& a = ring_[i];
+    const Point& b = ring_[j];
+    if (OnSegment(p, a, b)) return true;  // boundary counts as inside
+    if ((a.y > p.y) != (b.y > p.y)) {
+      double x_cross = a.x + (p.y - a.y) / (b.y - a.y) * (b.x - a.x);
+      if (p.x < x_cross) inside = !inside;
+    }
+  }
+  return inside;
+}
+
+bool Polygon::Intersects(const Polygon& other) const {
+  if (!mbr_.Intersects(other.mbr_)) return false;
+  if (ring_.empty() || other.ring_.empty()) return false;
+  // Any edge crossing?
+  size_t n = ring_.size();
+  size_t m = other.ring_.size();
+  for (size_t i = 0; i < n; ++i) {
+    const Point& a = ring_[i];
+    const Point& b = ring_[(i + 1) % n];
+    Box seg_box;
+    seg_box.ExpandToInclude(a);
+    seg_box.ExpandToInclude(b);
+    if (!seg_box.Intersects(other.mbr_)) continue;
+    for (size_t j = 0; j < m; ++j) {
+      if (SegmentsIntersect(a, b, other.ring_[j], other.ring_[(j + 1) % m])) {
+        return true;
+      }
+    }
+  }
+  // No edge crossing: one may fully contain the other.
+  return Contains(other.ring_[0]) || other.Contains(ring_[0]);
+}
+
+bool Polygon::Intersects(const Polyline& line) const {
+  if (!mbr_.Intersects(line.Mbr())) return false;
+  const std::vector<Point>& pts = line.points();
+  if (pts.empty() || ring_.empty()) return false;
+  size_t n = ring_.size();
+  for (size_t i = 1; i < pts.size(); ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      if (SegmentsIntersect(pts[i - 1], pts[i], ring_[j],
+                            ring_[(j + 1) % n])) {
+        return true;
+      }
+    }
+  }
+  // No boundary crossing: the whole chain may be inside the polygon.
+  return Contains(pts[0]);
+}
+
+bool Polygon::IntersectsBox(const Box& box) const {
+  if (!mbr_.Intersects(box)) return false;
+  if (ring_.empty()) return false;
+  // Any vertex inside the box, or any edge crossing the box?
+  size_t n = ring_.size();
+  for (size_t i = 0; i < n; ++i) {
+    if (SegmentIntersectsBox(ring_[i], ring_[(i + 1) % n], box)) return true;
+  }
+  // Box may be entirely inside the polygon.
+  return Contains(box.Center());
+}
+
+double Polygon::DistanceTo(const Point& p) const {
+  if (ring_.empty()) return std::numeric_limits<double>::infinity();
+  if (Contains(p)) return 0.0;
+  double best = std::numeric_limits<double>::infinity();
+  size_t n = ring_.size();
+  for (size_t i = 0; i < n; ++i) {
+    best =
+        std::min(best, PointSegmentDistance(p, ring_[i], ring_[(i + 1) % n]));
+  }
+  return best;
+}
+
+namespace {
+
+// One Sutherland-Hodgman clip pass against the half-plane where
+// `Inside(p)` holds; `Cross(a, b)` returns the edge/boundary intersection.
+template <typename InsideFn, typename CrossFn>
+std::vector<Point> ClipAgainst(const std::vector<Point>& in, InsideFn inside,
+                               CrossFn cross) {
+  std::vector<Point> out;
+  if (in.empty()) return out;
+  out.reserve(in.size() + 4);
+  for (size_t i = 0; i < in.size(); ++i) {
+    const Point& cur = in[i];
+    const Point& prev = in[(i + in.size() - 1) % in.size()];
+    bool cur_in = inside(cur);
+    bool prev_in = inside(prev);
+    if (cur_in) {
+      if (!prev_in) out.push_back(cross(prev, cur));
+      out.push_back(cur);
+    } else if (prev_in) {
+      out.push_back(cross(prev, cur));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Polygon Polygon::ClipToBox(const Box& box) const {
+  if (ring_.size() < 3 || box.IsEmpty()) return Polygon();
+  if (box.Contains(mbr_)) return *this;
+  if (!mbr_.Intersects(box)) return Polygon();
+
+  std::vector<Point> pts = ring_;
+  // Left.
+  pts = ClipAgainst(
+      pts, [&](const Point& p) { return p.x >= box.xmin; },
+      [&](const Point& a, const Point& b) {
+        double t = (box.xmin - a.x) / (b.x - a.x);
+        return Point{box.xmin, a.y + t * (b.y - a.y)};
+      });
+  // Right.
+  pts = ClipAgainst(
+      pts, [&](const Point& p) { return p.x <= box.xmax; },
+      [&](const Point& a, const Point& b) {
+        double t = (box.xmax - a.x) / (b.x - a.x);
+        return Point{box.xmax, a.y + t * (b.y - a.y)};
+      });
+  // Bottom.
+  pts = ClipAgainst(
+      pts, [&](const Point& p) { return p.y >= box.ymin; },
+      [&](const Point& a, const Point& b) {
+        double t = (box.ymin - a.y) / (b.y - a.y);
+        return Point{a.x + t * (b.x - a.x), box.ymin};
+      });
+  // Top.
+  pts = ClipAgainst(
+      pts, [&](const Point& p) { return p.y <= box.ymax; },
+      [&](const Point& a, const Point& b) {
+        double t = (box.ymax - a.y) / (b.y - a.y);
+        return Point{a.x + t * (b.x - a.x), box.ymax};
+      });
+  if (pts.size() < 3) return Polygon();
+  return Polygon(std::move(pts));
+}
+
+void Polygon::Serialize(ByteWriter* w) const {
+  w->PutU32(static_cast<uint32_t>(ring_.size()));
+  for (const Point& p : ring_) {
+    w->PutDouble(p.x);
+    w->PutDouble(p.y);
+  }
+}
+
+Polygon Polygon::Deserialize(ByteReader* r) {
+  uint32_t n = r->GetU32();
+  std::vector<Point> pts;
+  pts.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    double x = r->GetDouble();
+    double y = r->GetDouble();
+    pts.push_back(Point{x, y});
+  }
+  return Polygon(std::move(pts));
+}
+
+std::string Polygon::ToString() const {
+  std::string out = "POLYGON(";
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += ring_[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+double SwissCheesePolygon::Area() const {
+  double a = outer_.Area();
+  for (const Polygon& h : holes_) a -= h.Area();
+  return a;
+}
+
+bool SwissCheesePolygon::Contains(const Point& p) const {
+  if (!outer_.Contains(p)) return false;
+  for (const Polygon& h : holes_) {
+    if (h.Contains(p)) return false;
+  }
+  return true;
+}
+
+void SwissCheesePolygon::Serialize(ByteWriter* w) const {
+  outer_.Serialize(w);
+  w->PutU32(static_cast<uint32_t>(holes_.size()));
+  for (const Polygon& h : holes_) h.Serialize(w);
+}
+
+SwissCheesePolygon SwissCheesePolygon::Deserialize(ByteReader* r) {
+  Polygon outer = Polygon::Deserialize(r);
+  uint32_t n = r->GetU32();
+  std::vector<Polygon> holes;
+  holes.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) holes.push_back(Polygon::Deserialize(r));
+  return SwissCheesePolygon(std::move(outer), std::move(holes));
+}
+
+std::string SwissCheesePolygon::ToString() const {
+  std::string out = "SWISSCHEESE(outer=" + outer_.ToString();
+  for (const Polygon& h : holes_) out += ", hole=" + h.ToString();
+  out += ")";
+  return out;
+}
+
+}  // namespace paradise::geom

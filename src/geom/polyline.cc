@@ -1,0 +1,89 @@
+#include "geom/polyline.h"
+
+#include <cmath>
+#include <limits>
+
+#include "geom/algorithms.h"
+
+namespace paradise::geom {
+
+Polyline::Polyline(std::vector<Point> points) : points_(std::move(points)) {
+  for (const Point& p : points_) mbr_.ExpandToInclude(p);
+}
+
+double Polyline::Length() const {
+  double len = 0.0;
+  for (size_t i = 1; i < points_.size(); ++i) {
+    len += Distance(points_[i - 1], points_[i]);
+  }
+  return len;
+}
+
+double Polyline::DistanceTo(const Point& p) const {
+  if (points_.empty()) return std::numeric_limits<double>::infinity();
+  if (points_.size() == 1) return Distance(p, points_[0]);
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t i = 1; i < points_.size(); ++i) {
+    best = std::min(best, PointSegmentDistance(p, points_[i - 1], points_[i]));
+  }
+  return best;
+}
+
+bool Polyline::Intersects(const Polyline& other) const {
+  if (!mbr_.Intersects(other.mbr_)) return false;
+  for (size_t i = 1; i < points_.size(); ++i) {
+    // Per-segment MBR prune against the other chain's MBR.
+    Box seg_box;
+    seg_box.ExpandToInclude(points_[i - 1]);
+    seg_box.ExpandToInclude(points_[i]);
+    if (!seg_box.Intersects(other.mbr_)) continue;
+    for (size_t j = 1; j < other.points_.size(); ++j) {
+      if (SegmentsIntersect(points_[i - 1], points_[i], other.points_[j - 1],
+                            other.points_[j])) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool Polyline::IntersectsBox(const Box& box) const {
+  if (!mbr_.Intersects(box)) return false;
+  if (points_.size() == 1) return box.Contains(points_[0]);
+  for (size_t i = 1; i < points_.size(); ++i) {
+    if (SegmentIntersectsBox(points_[i - 1], points_[i], box)) return true;
+  }
+  return false;
+}
+
+void Polyline::Serialize(ByteWriter* w) const {
+  w->PutU32(static_cast<uint32_t>(points_.size()));
+  for (const Point& p : points_) {
+    w->PutDouble(p.x);
+    w->PutDouble(p.y);
+  }
+}
+
+Polyline Polyline::Deserialize(ByteReader* r) {
+  uint32_t n = r->GetU32();
+  std::vector<Point> pts;
+  pts.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    double x = r->GetDouble();
+    double y = r->GetDouble();
+    pts.push_back(Point{x, y});
+  }
+  return Polyline(std::move(pts));
+}
+
+std::string Polyline::ToString() const {
+  std::string out = "LINESTRING(";
+  for (size_t i = 0; i < points_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += points_[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace paradise::geom

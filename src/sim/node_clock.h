@@ -1,0 +1,78 @@
+#ifndef PARADISE_SIM_NODE_CLOCK_H_
+#define PARADISE_SIM_NODE_CLOCK_H_
+
+#include <mutex>
+
+#include "sim/cost_model.h"
+
+namespace paradise::sim {
+
+/// Per-node virtual clock. Accumulates resource usage for the current
+/// pipeline phase and for the whole query/run. Thread-safe: a node's work
+/// may be charged from the worker thread executing its operators and from
+/// remote pull requests landing on it.
+class NodeClock {
+ public:
+  NodeClock() = default;
+
+  NodeClock(const NodeClock&) = delete;
+  NodeClock& operator=(const NodeClock&) = delete;
+
+  void ChargeDiskSeek(int64_t seeks = 1) {
+    std::lock_guard<std::mutex> g(mu_);
+    phase_.disk_seeks += seeks;
+  }
+  void ChargeDiskRead(int64_t bytes, int64_t seeks) {
+    std::lock_guard<std::mutex> g(mu_);
+    phase_.disk_bytes_read += bytes;
+    phase_.disk_seeks += seeks;
+  }
+  void ChargeDiskWrite(int64_t bytes, int64_t seeks) {
+    std::lock_guard<std::mutex> g(mu_);
+    phase_.disk_bytes_written += bytes;
+    phase_.disk_seeks += seeks;
+  }
+  void ChargeNet(int64_t messages, int64_t bytes) {
+    std::lock_guard<std::mutex> g(mu_);
+    phase_.net_messages += messages;
+    phase_.net_bytes += bytes;
+  }
+  void ChargeCpu(double ops) {
+    std::lock_guard<std::mutex> g(mu_);
+    phase_.cpu_ops += ops;
+  }
+
+  /// Ends the current phase: folds phase usage into the total and returns
+  /// the phase usage (the coordinator takes max-over-nodes of its seconds).
+  ResourceUsage EndPhase() {
+    std::lock_guard<std::mutex> g(mu_);
+    ResourceUsage phase = phase_;
+    total_.Add(phase_);
+    phase_.Clear();
+    return phase;
+  }
+
+  ResourceUsage phase_usage() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return phase_;
+  }
+  ResourceUsage total_usage() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return total_;
+  }
+
+  void Reset() {
+    std::lock_guard<std::mutex> g(mu_);
+    phase_.Clear();
+    total_.Clear();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  ResourceUsage phase_;
+  ResourceUsage total_;
+};
+
+}  // namespace paradise::sim
+
+#endif  // PARADISE_SIM_NODE_CLOCK_H_

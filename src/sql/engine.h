@@ -1,0 +1,48 @@
+#ifndef PARADISE_SQL_ENGINE_H_
+#define PARADISE_SQL_ENGINE_H_
+
+#include <map>
+#include <string>
+
+#include "core/query_builder.h"
+
+namespace paradise::sql {
+
+/// The extended-SQL front end (Section 2.1: "the spatial data types
+/// provide a rich set of spatial operators that can be accessed from an
+/// extended version of SQL"). Supports the dialect the benchmark queries
+/// are written in:
+///
+///   SELECT <exprs | aggregates> FROM <table>
+///     [WHERE <conjunctions>] [GROUP BY <column>]
+///     [ORDER BY <column> [ASC|DESC]]
+///
+/// with spatial literals POINT(x y), POLYGON((x y, x y, ...)),
+/// CIRCLE(x y, r), BOX(x0 y0, x1 y1), DATE 'yyyy-mm-dd'; spatial
+/// operators `a OVERLAPS b`, functions area(s), distance(a, b),
+/// makebox(p, len); and aggregates count(*), sum/avg/min/max(e),
+/// closest(shape, POINT(x y)).
+///
+/// Statements are bound against the registered tables, handed to the
+/// cost-based optimizer (core::Query), and executed on the cluster.
+class SqlEngine {
+ public:
+  /// Registers a table under its catalog name.
+  void Register(const core::ParallelTable* table);
+
+  /// Parses, optimizes, and runs a statement.
+  StatusOr<exec::TupleVec> Execute(const std::string& statement,
+                                   core::QueryCoordinator* coord) const;
+
+  /// The physical plan the optimizer would choose.
+  StatusOr<std::string> Explain(const std::string& statement) const;
+
+ private:
+  StatusOr<core::Query> Bind(const std::string& statement) const;
+
+  std::map<std::string, const core::ParallelTable*> tables_;
+};
+
+}  // namespace paradise::sql
+
+#endif  // PARADISE_SQL_ENGINE_H_

@@ -1,0 +1,44 @@
+#ifndef PARADISE_SQL_LEXER_H_
+#define PARADISE_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace paradise::sql {
+
+enum class TokenType {
+  kIdentifier,   // table, column, function names (case-insensitive keywords)
+  kInteger,
+  kFloat,
+  kString,       // 'single quoted'
+  kComma,
+  kLParen,
+  kRParen,
+  kStar,
+  kDot,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;      // identifier / string payload (identifiers lowercased)
+  int64_t int_value = 0;
+  double float_value = 0;
+  size_t position = 0;   // byte offset, for error messages
+};
+
+/// Tokenizes the SQL dialect used by the benchmark queries. Keywords are
+/// returned as identifiers; the parser matches them case-insensitively.
+StatusOr<std::vector<Token>> Tokenize(const std::string& input);
+
+}  // namespace paradise::sql
+
+#endif  // PARADISE_SQL_LEXER_H_

@@ -1,0 +1,235 @@
+#include "storage/buffer_pool.h"
+
+#include "common/logging.h"
+
+namespace paradise::storage {
+
+PageGuard& PageGuard::operator=(PageGuard&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    frame_ = other.frame_;
+    page_ = other.page_;
+    id_ = other.id_;
+    other.pool_ = nullptr;
+    other.page_ = nullptr;
+  }
+  return *this;
+}
+
+PageGuard::~PageGuard() { Release(); }
+
+void PageGuard::MarkDirty() {
+  PARADISE_CHECK(valid());
+  pool_->MarkDirtyFrame(frame_);
+}
+
+void PageGuard::Release() {
+  if (pool_ != nullptr && page_ != nullptr) {
+    pool_->Unpin(frame_);
+  }
+  pool_ = nullptr;
+  page_ = nullptr;
+}
+
+BufferPool::BufferPool(size_t capacity_frames) : capacity_(capacity_frames) {
+  PARADISE_CHECK(capacity_frames > 0);
+  frames_.reserve(capacity_frames);
+}
+
+void BufferPool::AttachVolume(DiskVolume* volume) {
+  std::lock_guard<std::mutex> g(mu_);
+  volumes_[volume->volume_id()] = volume;
+}
+
+StatusOr<size_t> BufferPool::FindVictimLocked() {
+  if (!free_frames_.empty()) {
+    size_t idx = free_frames_.back();
+    free_frames_.pop_back();
+    return idx;
+  }
+  if (frames_.size() < capacity_) {
+    frames_.push_back(std::make_unique<Frame>());
+    return frames_.size() - 1;
+  }
+  if (lru_.empty()) {
+    int64_t pinned = 0, unused = 0, in_use = 0;
+    for (const auto& f : frames_) {
+      if (!f->in_use) {
+        ++unused;
+      } else if (f->pin_count > 0) {
+        ++pinned;
+      } else {
+        ++in_use;
+      }
+    }
+    return Status::ResourceExhausted(
+        "buffer pool: no evictable frame (pinned=" + std::to_string(pinned) +
+        " unpinned-in-use=" + std::to_string(in_use) +
+        " unused=" + std::to_string(unused) + ")");
+  }
+  size_t victim = lru_.front();
+  PARADISE_RETURN_IF_ERROR(EvictLocked(victim));
+  return victim;
+}
+
+Status BufferPool::EvictLocked(size_t frame_index) {
+  Frame& f = *frames_[frame_index];
+  PARADISE_CHECK(f.pin_count == 0 && f.in_use);
+  if (f.dirty) {
+    auto it = volumes_.find(f.id.volume);
+    PARADISE_CHECK_MSG(it != volumes_.end(), "evicting page of unknown volume");
+    PARADISE_RETURN_IF_ERROR(it->second->WritePage(f.id.page_no, f.page));
+    ++stats_.dirty_writebacks;
+  }
+  table_.erase(f.id);
+  if (f.in_lru) {
+    lru_.erase(f.lru_it);
+    f.in_lru = false;
+  }
+  f.in_use = false;
+  f.dirty = false;
+  ++stats_.evictions;
+  return Status::OK();
+}
+
+StatusOr<PageGuard> BufferPool::Pin(PageId id) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = table_.find(id);
+  if (it != table_.end()) {
+    size_t idx = it->second;
+    Frame& f = *frames_[idx];
+    if (f.pin_count == 0 && f.in_lru) {
+      lru_.erase(f.lru_it);
+      f.in_lru = false;
+    }
+    ++f.pin_count;
+    ++stats_.hits;
+    return PageGuard(this, idx, &f.page, id);
+  }
+  ++stats_.misses;
+  auto volume_it = volumes_.find(id.volume);
+  if (volume_it == volumes_.end()) {
+    return Status::NotFound("unknown volume");
+  }
+  PARADISE_ASSIGN_OR_RETURN(size_t idx, FindVictimLocked());
+  Frame& f = *frames_[idx];
+  PARADISE_RETURN_IF_ERROR(volume_it->second->ReadPage(id.page_no, &f.page));
+  f.id = id;
+  f.pin_count = 1;
+  f.dirty = false;
+  f.in_use = true;
+  f.in_lru = false;
+  table_[id] = idx;
+  return PageGuard(this, idx, &f.page, id);
+}
+
+StatusOr<PageGuard> BufferPool::NewPage(uint32_t volume) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto volume_it = volumes_.find(volume);
+  if (volume_it == volumes_.end()) {
+    return Status::NotFound("unknown volume");
+  }
+  PageNo page_no = volume_it->second->AllocatePage();
+  PARADISE_ASSIGN_OR_RETURN(size_t idx, FindVictimLocked());
+  Frame& f = *frames_[idx];
+  f.page = Page();
+  f.id = PageId{volume, page_no};
+  f.pin_count = 1;
+  f.dirty = true;  // fresh pages must reach disk eventually
+  f.in_use = true;
+  f.in_lru = false;
+  table_[f.id] = idx;
+  return PageGuard(this, idx, &f.page, f.id);
+}
+
+void BufferPool::Unpin(size_t frame_index) {
+  std::lock_guard<std::mutex> g(mu_);
+  Frame& f = *frames_[frame_index];
+  PARADISE_CHECK(f.pin_count > 0);
+  if (--f.pin_count == 0) {
+    lru_.push_back(frame_index);
+    f.lru_it = std::prev(lru_.end());
+    f.in_lru = true;
+  }
+}
+
+void BufferPool::MarkDirtyFrame(size_t frame_index) {
+  std::lock_guard<std::mutex> g(mu_);
+  frames_[frame_index]->dirty = true;
+}
+
+Status BufferPool::FlushAll() {
+  std::lock_guard<std::mutex> g(mu_);
+  for (auto& frame : frames_) {
+    Frame& f = *frame;
+    if (f.in_use && f.dirty) {
+      auto it = volumes_.find(f.id.volume);
+      PARADISE_CHECK(it != volumes_.end());
+      PARADISE_RETURN_IF_ERROR(it->second->WritePage(f.id.page_no, f.page));
+      f.dirty = false;
+    }
+  }
+  return Status::OK();
+}
+
+Status BufferPool::FlushPage(PageId id) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = table_.find(id);
+  if (it == table_.end()) return Status::OK();  // not cached: already on disk
+  Frame& f = *frames_[it->second];
+  if (f.dirty) {
+    auto vit = volumes_.find(id.volume);
+    PARADISE_CHECK(vit != volumes_.end());
+    PARADISE_RETURN_IF_ERROR(vit->second->WritePage(id.page_no, f.page));
+    f.dirty = false;
+  }
+  return Status::OK();
+}
+
+void BufferPool::DiscardAll() {
+  std::lock_guard<std::mutex> g(mu_);
+  PARADISE_CHECK_MSG(
+      [&] {
+        for (auto& f : frames_) {
+          if (f->in_use && f->pin_count > 0) return false;
+        }
+        return true;
+      }(),
+      "DiscardAll with pinned pages");
+  table_.clear();
+  lru_.clear();
+  free_frames_.clear();
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    Frame& f = *frames_[i];
+    f.in_use = false;
+    f.dirty = false;
+    f.in_lru = false;
+    f.pin_count = 0;
+    free_frames_.push_back(i);
+  }
+}
+
+void BufferPool::Invalidate(PageId id) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = table_.find(id);
+  if (it == table_.end()) return;
+  size_t index = it->second;
+  Frame& f = *frames_[index];
+  PARADISE_CHECK_MSG(f.pin_count == 0, "invalidating a pinned page");
+  if (f.in_lru) {
+    lru_.erase(f.lru_it);
+    f.in_lru = false;
+  }
+  f.in_use = false;
+  f.dirty = false;
+  table_.erase(it);
+  free_frames_.push_back(index);
+}
+
+BufferPool::Stats BufferPool::stats() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return stats_;
+}
+
+}  // namespace paradise::storage

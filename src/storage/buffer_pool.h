@@ -1,0 +1,118 @@
+#ifndef PARADISE_STORAGE_BUFFER_POOL_H_
+#define PARADISE_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/disk_volume.h"
+#include "storage/page.h"
+
+namespace paradise::storage {
+
+class BufferPool;
+
+/// RAII pin on a buffered page. Unpins on destruction; call MarkDirty()
+/// after modifying the frame.
+class PageGuard {
+ public:
+  PageGuard() = default;
+  PageGuard(BufferPool* pool, size_t frame, Page* page, PageId id)
+      : pool_(pool), frame_(frame), page_(page), id_(id) {}
+
+  PageGuard(PageGuard&& other) noexcept { *this = std::move(other); }
+  PageGuard& operator=(PageGuard&& other) noexcept;
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+  ~PageGuard();
+
+  bool valid() const { return page_ != nullptr; }
+  Page* page() { return page_; }
+  const Page* page() const { return page_; }
+  PageId id() const { return id_; }
+  void MarkDirty();
+  void Release();
+
+ private:
+  BufferPool* pool_ = nullptr;
+  size_t frame_ = 0;
+  Page* page_ = nullptr;
+  PageId id_;
+};
+
+/// LRU buffer pool over a set of volumes, one per node (Paradise used a
+/// 32 MB pool per node; the pool size here is in frames). The pool is the
+/// volatile layer: a simulated crash is DiscardAll() without FlushAll().
+class BufferPool {
+ public:
+  explicit BufferPool(size_t capacity_frames);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  void AttachVolume(DiskVolume* volume);
+
+  /// Pins the page, reading it from its volume on a miss.
+  StatusOr<PageGuard> Pin(PageId id);
+
+  /// Allocates a fresh page on `volume` and pins it (no disk read).
+  StatusOr<PageGuard> NewPage(uint32_t volume);
+
+  Status FlushAll();
+  Status FlushPage(PageId id);
+
+  /// Simulated crash: every unflushed frame is lost.
+  void DiscardAll();
+
+  /// Drops a page from the pool without writing it back (used when the
+  /// page is being freed). The page must be unpinned.
+  void Invalidate(PageId id);
+
+  struct Stats {
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t evictions = 0;
+    int64_t dirty_writebacks = 0;
+  };
+  Stats stats() const;
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  friend class PageGuard;
+
+  struct Frame {
+    PageId id;
+    Page page;
+    int pin_count = 0;
+    bool dirty = false;
+    bool in_use = false;
+    std::list<size_t>::iterator lru_it;  // valid only when unpinned
+    bool in_lru = false;
+  };
+
+  void Unpin(size_t frame_index);
+  void MarkDirtyFrame(size_t frame_index);
+
+  // Both require mu_ held.
+  StatusOr<size_t> FindVictimLocked();
+  Status EvictLocked(size_t frame_index);
+
+  const size_t capacity_;
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Frame>> frames_;
+  std::vector<size_t> free_frames_;  // allocated but not holding a page
+  std::unordered_map<PageId, size_t, PageIdHash> table_;
+  std::list<size_t> lru_;  // front = least recently used
+  std::unordered_map<uint32_t, DiskVolume*> volumes_;
+  Stats stats_;
+};
+
+}  // namespace paradise::storage
+
+#endif  // PARADISE_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,81 @@
+#include "storage/disk_volume.h"
+
+#include "common/logging.h"
+
+namespace paradise::storage {
+
+PageNo DiskVolume::AllocatePage() {
+  std::lock_guard<std::mutex> g(mu_);
+  if (!free_list_.empty()) {
+    PageNo p = free_list_.back();
+    free_list_.pop_back();
+    --freed_count_;
+    return p;
+  }
+  pages_.push_back(std::make_unique<Page>());
+  return static_cast<PageNo>(pages_.size() - 1);
+}
+
+PageNo DiskVolume::AllocateRun(uint32_t count) {
+  PARADISE_CHECK(count > 0);
+  std::lock_guard<std::mutex> g(mu_);
+  PageNo first = static_cast<PageNo>(pages_.size());
+  for (uint32_t i = 0; i < count; ++i) {
+    pages_.push_back(std::make_unique<Page>());
+  }
+  return first;
+}
+
+void DiskVolume::FreePage(PageNo page_no) {
+  std::lock_guard<std::mutex> g(mu_);
+  PARADISE_CHECK(page_no < pages_.size());
+  free_list_.push_back(page_no);
+  ++freed_count_;
+}
+
+void DiskVolume::ChargeAccess(PageNo page_no, bool is_write) {
+  if (clock_ == nullptr) return;
+  // Sequential if this access continues where the previous one ended.
+  bool sequential = (last_accessed_ != kInvalidPageNo &&
+                     page_no == last_accessed_ + 1);
+  int64_t seeks = sequential ? 0 : 1;
+  if (is_write) {
+    clock_->ChargeDiskWrite(static_cast<int64_t>(kPageSize), seeks);
+  } else {
+    clock_->ChargeDiskRead(static_cast<int64_t>(kPageSize), seeks);
+  }
+  last_accessed_ = page_no;
+}
+
+Status DiskVolume::ReadPage(PageNo page_no, Page* out) {
+  std::lock_guard<std::mutex> g(mu_);
+  if (page_no >= pages_.size()) {
+    return Status::OutOfRange("read past end of volume");
+  }
+  ChargeAccess(page_no, /*is_write=*/false);
+  *out = *pages_[page_no];
+  return Status::OK();
+}
+
+Status DiskVolume::WritePage(PageNo page_no, const Page& page) {
+  std::lock_guard<std::mutex> g(mu_);
+  if (page_no >= pages_.size()) {
+    return Status::OutOfRange("write past end of volume");
+  }
+  ChargeAccess(page_no, /*is_write=*/true);
+  *pages_[page_no] = page;
+  return Status::OK();
+}
+
+uint32_t DiskVolume::num_pages() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return static_cast<uint32_t>(pages_.size());
+}
+
+uint32_t DiskVolume::allocated_pages() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return static_cast<uint32_t>(pages_.size()) -
+         static_cast<uint32_t>(freed_count_);
+}
+
+}  // namespace paradise::storage

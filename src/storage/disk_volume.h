@@ -1,0 +1,65 @@
+#ifndef PARADISE_STORAGE_DISK_VOLUME_H_
+#define PARADISE_STORAGE_DISK_VOLUME_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "sim/node_clock.h"
+#include "storage/page.h"
+
+namespace paradise::storage {
+
+/// A simulated raw disk: an in-memory array of pages standing in for one of
+/// the node's SCSI drives. Every physical read/write charges the owning
+/// node's clock; consecutive page numbers are charged as sequential
+/// transfer (no seek), anything else pays a positioning cost. The memory
+/// behind a volume is the *durable* medium for recovery tests — the buffer
+/// pool above it is the volatile part.
+class DiskVolume {
+ public:
+  /// `clock` may be null (cost-free volume, used by unit tests).
+  DiskVolume(uint32_t volume_id, sim::NodeClock* clock)
+      : volume_id_(volume_id), clock_(clock) {}
+
+  DiskVolume(const DiskVolume&) = delete;
+  DiskVolume& operator=(const DiskVolume&) = delete;
+
+  uint32_t volume_id() const { return volume_id_; }
+
+  /// Allocates one page; pages within an extent are physically contiguous.
+  PageNo AllocatePage();
+
+  /// Allocates `count` physically consecutive pages and returns the first.
+  PageNo AllocateRun(uint32_t count);
+
+  void FreePage(PageNo page_no);
+
+  Status ReadPage(PageNo page_no, Page* out);
+  Status WritePage(PageNo page_no, const Page& page);
+
+  uint32_t num_pages() const;
+
+  /// Number of allocated (non-freed) pages.
+  uint32_t allocated_pages() const;
+
+  sim::NodeClock* clock() const { return clock_; }
+
+ private:
+  void ChargeAccess(PageNo page_no, bool is_write);
+
+  const uint32_t volume_id_;
+  sim::NodeClock* const clock_;
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Page>> pages_;
+  std::vector<PageNo> free_list_;
+  PageNo last_accessed_ = kInvalidPageNo;
+  int64_t freed_count_ = 0;
+};
+
+}  // namespace paradise::storage
+
+#endif  // PARADISE_STORAGE_DISK_VOLUME_H_

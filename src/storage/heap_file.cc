@@ -1,0 +1,251 @@
+#include "storage/heap_file.h"
+
+#include "common/logging.h"
+#include "storage/slotted_page.h"
+#include "storage/transaction.h"
+
+namespace paradise::storage {
+
+namespace {
+
+/// Logs a data record (if logging is enabled) and threads it onto the
+/// transaction's undo chain. Returns the assigned LSN (kInvalidLsn when
+/// unlogged).
+Lsn LogDataRecord(LogManager* log, Transaction* txn, LogRecordType type,
+                  uint32_t file_id, const Oid& oid, ByteBuffer before,
+                  ByteBuffer after) {
+  if (log == nullptr || txn == nullptr) return kInvalidLsn;
+  LogRecord rec;
+  rec.txn = txn->id();
+  rec.type = type;
+  rec.prev_lsn = txn->last_lsn();
+  rec.file_id = file_id;
+  rec.oid = oid;
+  rec.before = std::move(before);
+  rec.after = std::move(after);
+  Lsn lsn = log->Append(std::move(rec));
+  txn->set_last_lsn(lsn);
+  return lsn;
+}
+
+}  // namespace
+
+HeapFile::HeapFile(uint32_t file_id, BufferPool* pool, uint32_t volume_id,
+                   LogManager* log)
+    : file_id_(file_id), pool_(pool), volume_id_(volume_id), log_(log) {}
+
+size_t HeapFile::MaxRecordSize() {
+  return Page::kPayloadSize - SlottedPage::kSlotDirStart - 4;
+}
+
+StatusOr<Oid> HeapFile::Insert(Transaction* txn, const ByteBuffer& record) {
+  if (record.size() > MaxRecordSize()) {
+    return Status::InvalidArgument("record too large for slotted page");
+  }
+  std::lock_guard<std::mutex> g(mu_);
+
+  // Find a page with room: the last page, else a fresh one.
+  PageGuard guard;
+  if (!pages_.empty()) {
+    PARADISE_ASSIGN_OR_RETURN(PageGuard last,
+                              pool_->Pin(PageId{volume_id_, pages_.back()}));
+    SlottedPage sp(last.page());
+    if (sp.NeedsInit()) {
+      sp.Init();
+      last.MarkDirty();
+    }
+    if (sp.TotalFree() >= record.size()) guard = std::move(last);
+  }
+  if (!guard.valid()) {
+    PARADISE_ASSIGN_OR_RETURN(guard, pool_->NewPage(volume_id_));
+    SlottedPage sp(guard.page());
+    sp.Init();
+    guard.MarkDirty();
+    pages_.push_back(guard.id().page_no);
+  }
+
+  SlottedPage sp(guard.page());
+  int slot = sp.InsertRecord(record.data(), static_cast<uint16_t>(record.size()));
+  PARADISE_CHECK_MSG(slot >= 0, "page chosen for insert had no room");
+  Oid oid{guard.id().page_no, static_cast<uint16_t>(slot)};
+
+  Lsn lsn = LogDataRecord(log_, txn, LogRecordType::kInsert, file_id_, oid,
+                          /*before=*/{}, /*after=*/record);
+  if (lsn != kInvalidLsn) guard.page()->set_lsn(lsn);
+  guard.MarkDirty();
+  ++num_records_;
+  return oid;
+}
+
+StatusOr<ByteBuffer> HeapFile::Get(const Oid& oid) const {
+  std::lock_guard<std::mutex> g(mu_);
+  PARADISE_ASSIGN_OR_RETURN(PageGuard guard,
+                            pool_->Pin(PageId{volume_id_, oid.page}));
+  SlottedPage sp(guard.page());
+  if (!sp.SlotInUse(oid.slot)) {
+    return Status::NotFound("no record at oid");
+  }
+  const uint8_t* data = sp.RecordData(oid.slot);
+  return ByteBuffer(data, data + sp.SlotLength(oid.slot));
+}
+
+Status HeapFile::Delete(Transaction* txn, const Oid& oid) {
+  std::lock_guard<std::mutex> g(mu_);
+  PARADISE_ASSIGN_OR_RETURN(PageGuard guard,
+                            pool_->Pin(PageId{volume_id_, oid.page}));
+  SlottedPage sp(guard.page());
+  if (!sp.SlotInUse(oid.slot)) {
+    return Status::NotFound("no record at oid");
+  }
+  const uint8_t* data = sp.RecordData(oid.slot);
+  ByteBuffer before(data, data + sp.SlotLength(oid.slot));
+  sp.DeleteRecord(oid.slot);
+
+  Lsn lsn = LogDataRecord(log_, txn, LogRecordType::kDelete, file_id_, oid,
+                          std::move(before), /*after=*/{});
+  if (lsn != kInvalidLsn) guard.page()->set_lsn(lsn);
+  guard.MarkDirty();
+  --num_records_;
+  return Status::OK();
+}
+
+Status HeapFile::Update(Transaction* txn, const Oid& oid,
+                        const ByteBuffer& record) {
+  std::lock_guard<std::mutex> g(mu_);
+  PARADISE_ASSIGN_OR_RETURN(PageGuard guard,
+                            pool_->Pin(PageId{volume_id_, oid.page}));
+  SlottedPage sp(guard.page());
+  if (!sp.SlotInUse(oid.slot)) {
+    return Status::NotFound("no record at oid");
+  }
+  if (sp.SlotLength(oid.slot) != record.size()) {
+    return Status::InvalidArgument(
+        "in-place update requires equal size; delete+insert instead");
+  }
+  const uint8_t* data = sp.RecordData(oid.slot);
+  ByteBuffer before(data, data + sp.SlotLength(oid.slot));
+  PARADISE_CHECK(sp.UpdateRecord(oid.slot, record.data(),
+                                 static_cast<uint16_t>(record.size())));
+
+  Lsn lsn = LogDataRecord(log_, txn, LogRecordType::kUpdate, file_id_, oid,
+                          std::move(before), record);
+  if (lsn != kInvalidLsn) guard.page()->set_lsn(lsn);
+  guard.MarkDirty();
+  return Status::OK();
+}
+
+StatusOr<Lsn> HeapFile::PageLsn(PageNo page_no) const {
+  std::lock_guard<std::mutex> g(mu_);
+  PARADISE_ASSIGN_OR_RETURN(PageGuard guard,
+                            pool_->Pin(PageId{volume_id_, page_no}));
+  return guard.page()->lsn();
+}
+
+Status HeapFile::ApplyInsert(const Oid& oid, const ByteBuffer& record,
+                             Lsn lsn) {
+  std::lock_guard<std::mutex> g(mu_);
+  PARADISE_ASSIGN_OR_RETURN(PageGuard guard,
+                            pool_->Pin(PageId{volume_id_, oid.page}));
+  SlottedPage sp(guard.page());
+  if (sp.NeedsInit()) sp.Init();
+  if (!sp.InsertRecordAt(oid.slot, record.data(),
+                         static_cast<uint16_t>(record.size()))) {
+    return Status::Corruption("redo insert: slot unavailable");
+  }
+  guard.page()->set_lsn(lsn);
+  guard.MarkDirty();
+  ++num_records_;
+  return Status::OK();
+}
+
+Status HeapFile::ApplyDelete(const Oid& oid, Lsn lsn) {
+  std::lock_guard<std::mutex> g(mu_);
+  PARADISE_ASSIGN_OR_RETURN(PageGuard guard,
+                            pool_->Pin(PageId{volume_id_, oid.page}));
+  SlottedPage sp(guard.page());
+  if (!sp.SlotInUse(oid.slot)) {
+    return Status::Corruption("redo delete: slot empty");
+  }
+  sp.DeleteRecord(oid.slot);
+  guard.page()->set_lsn(lsn);
+  guard.MarkDirty();
+  --num_records_;
+  return Status::OK();
+}
+
+Status HeapFile::ApplyUpdate(const Oid& oid, const ByteBuffer& record,
+                             Lsn lsn) {
+  std::lock_guard<std::mutex> g(mu_);
+  PARADISE_ASSIGN_OR_RETURN(PageGuard guard,
+                            pool_->Pin(PageId{volume_id_, oid.page}));
+  SlottedPage sp(guard.page());
+  if (!sp.UpdateRecord(oid.slot, record.data(),
+                       static_cast<uint16_t>(record.size()))) {
+    return Status::Corruption("redo update: slot mismatch");
+  }
+  guard.page()->set_lsn(lsn);
+  guard.MarkDirty();
+  return Status::OK();
+}
+
+bool HeapFile::Iterator::Next(Oid* oid, ByteBuffer* record) {
+  std::lock_guard<std::mutex> g(file_->mu_);
+  while (page_index_ < file_->pages_.size()) {
+    PageNo page_no = file_->pages_[page_index_];
+    auto guard_or =
+        file_->pool_->Pin(PageId{file_->volume_id_, page_no});
+    PARADISE_CHECK_MSG(guard_or.ok(), guard_or.status().ToString().c_str());
+    PageGuard guard = std::move(guard_or).value();
+    SlottedPage sp(guard.page());
+    if (sp.NeedsInit()) {
+      ++page_index_;
+      slot_ = 0;
+      continue;
+    }
+    while (slot_ < sp.SlotCount()) {
+      uint16_t s = slot_++;
+      if (!sp.SlotInUse(s)) continue;
+      *oid = Oid{page_no, s};
+      const uint8_t* data = sp.RecordData(s);
+      record->assign(data, data + sp.SlotLength(s));
+      return true;
+    }
+    ++page_index_;
+    slot_ = 0;
+  }
+  return false;
+}
+
+Status HeapFile::RecountRecords() {
+  std::lock_guard<std::mutex> g(mu_);
+  int64_t n = 0;
+  for (PageNo p : pages_) {
+    PARADISE_ASSIGN_OR_RETURN(PageGuard guard, pool_->Pin(PageId{volume_id_, p}));
+    SlottedPage sp(guard.page());
+    if (!sp.NeedsInit()) n += sp.LiveRecords();
+  }
+  num_records_ = n;
+  return Status::OK();
+}
+
+int64_t HeapFile::num_records() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return num_records_;
+}
+
+size_t HeapFile::num_pages() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return pages_.size();
+}
+
+void HeapFile::Destroy(DiskVolume* volume) {
+  std::lock_guard<std::mutex> g(mu_);
+  for (PageNo p : pages_) {
+    pool_->Invalidate(PageId{volume_id_, p});
+    volume->FreePage(p);
+  }
+  pages_.clear();
+  num_records_ = 0;
+}
+
+}  // namespace paradise::storage

@@ -1,0 +1,61 @@
+#include "storage/large_object.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace paradise::storage {
+
+StatusOr<LobId> LargeObjectStore::Write(const uint8_t* data, size_t size) {
+  uint32_t pages =
+      std::max<uint32_t>(1, static_cast<uint32_t>(
+                                (size + kBytesPerPage - 1) / kBytesPerPage));
+  PageNo first = volume_->AllocateRun(pages);
+  size_t written = 0;
+  for (uint32_t i = 0; i < pages; ++i) {
+    PARADISE_ASSIGN_OR_RETURN(
+        PageGuard guard,
+        pool_->Pin(PageId{volume_->volume_id(), first + i}));
+    size_t n = std::min(kBytesPerPage, size - written);
+    std::memcpy(guard.page()->payload(), data + written, n);
+    written += n;
+    guard.MarkDirty();
+  }
+  return LobId{volume_->volume_id(), first, pages, static_cast<uint32_t>(size)};
+}
+
+StatusOr<ByteBuffer> LargeObjectStore::Read(const LobId& id) const {
+  return ReadRange(id, 0, id.length);
+}
+
+StatusOr<ByteBuffer> LargeObjectStore::ReadRange(const LobId& id,
+                                                 size_t offset,
+                                                 size_t length) const {
+  if (offset + length > id.length) {
+    return Status::OutOfRange("LOB range read past end");
+  }
+  ByteBuffer out(length);
+  size_t read = 0;
+  while (read < length) {
+    size_t at = offset + read;
+    uint32_t page_index = static_cast<uint32_t>(at / kBytesPerPage);
+    size_t in_page = at % kBytesPerPage;
+    PARADISE_ASSIGN_OR_RETURN(
+        PageGuard guard,
+        pool_->Pin(PageId{id.volume, id.first_page + page_index}));
+    size_t n = std::min(kBytesPerPage - in_page, length - read);
+    std::memcpy(out.data() + read, guard.page()->payload() + in_page, n);
+    read += n;
+  }
+  return out;
+}
+
+void LargeObjectStore::Free(const LobId& id) {
+  for (uint32_t i = 0; i < id.num_pages; ++i) {
+    pool_->Invalidate(PageId{id.volume, id.first_page + i});
+    volume_->FreePage(id.first_page + i);
+  }
+}
+
+}  // namespace paradise::storage

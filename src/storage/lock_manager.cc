@@ -1,0 +1,273 @@
+#include "storage/lock_manager.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace paradise::storage {
+
+bool LockModesCompatible(LockMode held, LockMode requested) {
+  // Standard multi-granularity compatibility matrix.
+  auto idx = [](LockMode m) { return static_cast<int>(m); };
+  //                IS     IX     S      SIX    X
+  static const bool kCompat[5][5] = {
+      /* IS  */ {true, true, true, true, false},
+      /* IX  */ {true, true, false, false, false},
+      /* S   */ {true, false, true, false, false},
+      /* SIX */ {true, false, false, false, false},
+      /* X   */ {false, false, false, false, false},
+  };
+  return kCompat[idx(held)][idx(requested)];
+}
+
+bool LockModeCovers(LockMode held, LockMode requested) {
+  if (held == requested) return true;
+  switch (held) {
+    case LockMode::kX:
+      return true;
+    case LockMode::kSIX:
+      return requested == LockMode::kS || requested == LockMode::kIX ||
+             requested == LockMode::kIS;
+    case LockMode::kS:
+      return requested == LockMode::kIS;
+    case LockMode::kIX:
+      return requested == LockMode::kIS;
+    case LockMode::kIS:
+      return false;
+  }
+  return false;
+}
+
+LockMode LockModeJoin(LockMode a, LockMode b) {
+  if (LockModeCovers(a, b)) return a;
+  if (LockModeCovers(b, a)) return b;
+  // The interesting joins: S+IX = SIX, IS+anything stronger = stronger.
+  auto is_one = [&](LockMode x, LockMode y) {
+    return (a == x && b == y) || (a == y && b == x);
+  };
+  if (is_one(LockMode::kS, LockMode::kIX)) return LockMode::kSIX;
+  if (is_one(LockMode::kS, LockMode::kSIX)) return LockMode::kSIX;
+  if (is_one(LockMode::kIX, LockMode::kSIX)) return LockMode::kSIX;
+  return LockMode::kX;
+}
+
+bool LockManager::GrantableLocked(const LockEntry& entry, TxnId txn,
+                                  LockMode mode) const {
+  for (const Holder& h : entry.holders) {
+    if (h.txn == txn) continue;  // self-conflicts handled by upgrade join
+    if (!LockModesCompatible(h.mode, mode)) return false;
+  }
+  return true;
+}
+
+bool LockManager::WouldDeadlockLocked(TxnId requester, const LockName& name,
+                                      LockMode mode) const {
+  // Build the waits-for edge set on the fly and DFS from every transaction
+  // the requester would wait on, looking for a path back to the requester.
+  //
+  // Edges: waiter -> each incompatible holder of the resource it waits on.
+  auto blockers = [&](TxnId txn, const LockName& n,
+                      LockMode m) -> std::vector<TxnId> {
+    std::vector<TxnId> out;
+    auto it = table_.find(n);
+    if (it == table_.end()) return out;
+    for (const Holder& h : it->second.holders) {
+      if (h.txn != txn && !LockModesCompatible(h.mode, m)) out.push_back(h.txn);
+    }
+    return out;
+  };
+
+  // What is every other waiter currently waiting on?
+  struct Wait {
+    TxnId txn;
+    LockName name;
+    LockMode mode;
+  };
+  std::vector<Wait> waits;
+  for (const auto& [n, entry] : table_) {
+    for (const Waiter* w : entry.waiters) {
+      if (!w->granted) waits.push_back(Wait{w->txn, n, w->mode});
+    }
+  }
+
+  std::vector<TxnId> stack = blockers(requester, name, mode);
+  std::vector<TxnId> visited;
+  while (!stack.empty()) {
+    TxnId cur = stack.back();
+    stack.pop_back();
+    if (cur == requester) return true;
+    if (std::find(visited.begin(), visited.end(), cur) != visited.end()) {
+      continue;
+    }
+    visited.push_back(cur);
+    for (const Wait& w : waits) {
+      if (w.txn != cur) continue;
+      for (TxnId b : blockers(cur, w.name, w.mode)) stack.push_back(b);
+    }
+  }
+  return false;
+}
+
+void LockManager::GrantWaitersLocked(LockEntry* entry) {
+  for (Waiter* w : entry->waiters) {
+    if (w->granted) continue;
+    if (GrantableLocked(*entry, w->txn, w->mode)) {
+      w->granted = true;
+      // Holder entry is added by the waiting thread when it wakes.
+    }
+  }
+}
+
+Status LockManager::EscalateLocked(std::unique_lock<std::mutex>* lk, TxnId txn,
+                                   uint32_t file, LockMode record_mode) {
+  // Escalate the txn's record locks in `file` to a single file-level lock:
+  // S if it only reads, X if it writes.
+  LockMode file_mode =
+      (record_mode == LockMode::kS) ? LockMode::kS : LockMode::kX;
+  ++stats_.escalations;
+  PARADISE_RETURN_IF_ERROR(
+      AcquireLocked(lk, txn, LockName::File(file), file_mode));
+  // Drop the now-subsumed record/page locks.
+  auto held_it = held_.find(txn);
+  if (held_it != held_.end()) {
+    std::vector<LockName> keep;
+    for (const LockName& n : held_it->second) {
+      if (n.file == file && n.level != LockLevel::kFile) {
+        auto it = table_.find(n);
+        if (it != table_.end()) {
+          auto& holders = it->second.holders;
+          holders.erase(std::remove_if(holders.begin(), holders.end(),
+                                       [&](const Holder& h) {
+                                         return h.txn == txn;
+                                       }),
+                        holders.end());
+          GrantWaitersLocked(&it->second);
+          if (it->second.holders.empty() && it->second.waiters.empty()) {
+            table_.erase(it);
+          }
+        }
+      } else {
+        keep.push_back(n);
+      }
+    }
+    held_it->second = std::move(keep);
+  }
+  cv_.notify_all();
+  return Status::OK();
+}
+
+Status LockManager::AcquireLocked(std::unique_lock<std::mutex>* lk, TxnId txn,
+                                  const LockName& name, LockMode mode) {
+  LockEntry& entry = table_[name];
+
+  // Upgrade path: if the txn already holds this resource, join the modes.
+  for (Holder& h : entry.holders) {
+    if (h.txn != txn) continue;
+    if (LockModeCovers(h.mode, mode)) return Status::OK();
+    LockMode joined = LockModeJoin(h.mode, mode);
+    // Wait until the joined mode is compatible with the other holders.
+    while (!GrantableLocked(entry, txn, joined)) {
+      if (WouldDeadlockLocked(txn, name, joined)) {
+        ++stats_.deadlocks;
+        return Status::Aborted("deadlock on lock upgrade");
+      }
+      ++stats_.waits;
+      Waiter w{txn, joined, false};
+      entry.waiters.push_back(&w);
+      cv_.wait(*lk, [&] { return w.granted || GrantableLocked(entry, txn, joined); });
+      entry.waiters.remove(&w);
+    }
+    h.mode = joined;
+    ++stats_.acquired;
+    return Status::OK();
+  }
+
+  while (!GrantableLocked(entry, txn, mode)) {
+    if (WouldDeadlockLocked(txn, name, mode)) {
+      ++stats_.deadlocks;
+      return Status::Aborted("deadlock detected");
+    }
+    ++stats_.waits;
+    Waiter w{txn, mode, false};
+    entry.waiters.push_back(&w);
+    cv_.wait(*lk, [&] { return w.granted || GrantableLocked(entry, txn, mode); });
+    entry.waiters.remove(&w);
+  }
+  entry.holders.push_back(Holder{txn, mode});
+  held_[txn].push_back(name);
+  ++stats_.acquired;
+  return Status::OK();
+}
+
+Status LockManager::Acquire(TxnId txn, const LockName& name, LockMode mode) {
+  std::unique_lock<std::mutex> lk(mu_);
+
+  // Escalation check: too many record-level locks in one file?
+  if (name.level == LockLevel::kRecord) {
+    auto held_it = held_.find(txn);
+    if (held_it != held_.end()) {
+      size_t in_file = 0;
+      for (const LockName& n : held_it->second) {
+        if (n.file == name.file && n.level == LockLevel::kRecord) ++in_file;
+      }
+      if (in_file >= escalation_threshold_) {
+        return EscalateLocked(&lk, txn, name.file, mode);
+      }
+      // If we already escalated to a covering file lock, we are done.
+      auto file_it = table_.find(LockName::File(name.file));
+      if (file_it != table_.end()) {
+        for (const Holder& h : file_it->second.holders) {
+          if (h.txn == txn &&
+              LockModeCovers(h.mode, mode)) {
+            return Status::OK();
+          }
+        }
+      }
+    }
+  }
+  return AcquireLocked(&lk, txn, name, mode);
+}
+
+void LockManager::ReleaseAll(TxnId txn) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto held_it = held_.find(txn);
+  if (held_it == held_.end()) return;
+  for (const LockName& n : held_it->second) {
+    auto it = table_.find(n);
+    if (it == table_.end()) continue;
+    auto& holders = it->second.holders;
+    holders.erase(std::remove_if(
+                      holders.begin(), holders.end(),
+                      [&](const Holder& h) { return h.txn == txn; }),
+                  holders.end());
+    GrantWaitersLocked(&it->second);
+    if (it->second.holders.empty() && it->second.waiters.empty()) {
+      table_.erase(it);
+    }
+  }
+  held_.erase(held_it);
+  cv_.notify_all();
+}
+
+bool LockManager::Holds(TxnId txn, const LockName& name, LockMode mode) const {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = table_.find(name);
+  if (it == table_.end()) return false;
+  for (const Holder& h : it->second.holders) {
+    if (h.txn == txn && LockModeCovers(h.mode, mode)) return true;
+  }
+  return false;
+}
+
+size_t LockManager::HeldCount(TxnId txn) const {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = held_.find(txn);
+  return it == held_.end() ? 0 : it->second.size();
+}
+
+LockManager::Stats LockManager::stats() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return stats_;
+}
+
+}  // namespace paradise::storage

@@ -1,0 +1,133 @@
+#ifndef PARADISE_STORAGE_LOCK_MANAGER_H_
+#define PARADISE_STORAGE_LOCK_MANAGER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/page.h"
+#include "storage/wal.h"
+
+namespace paradise::storage {
+
+/// Lock modes for multi-granularity locking (Section 2.2: "Locking can be
+/// done at multiple granularities (e.g. object, page, or file) with
+/// optional lock escalation").
+enum class LockMode : uint8_t { kIS, kIX, kS, kSIX, kX };
+
+/// Granularity levels form a hierarchy: file > page > record.
+enum class LockLevel : uint8_t { kFile = 0, kPage = 1, kRecord = 2 };
+
+/// Names a lockable resource.
+struct LockName {
+  uint32_t file = 0;
+  PageNo page = kInvalidPageNo;
+  uint16_t slot = 0;
+  LockLevel level = LockLevel::kFile;
+
+  static LockName File(uint32_t f) { return {f, kInvalidPageNo, 0, LockLevel::kFile}; }
+  static LockName Page(uint32_t f, PageNo p) { return {f, p, 0, LockLevel::kPage}; }
+  static LockName Record(uint32_t f, const Oid& oid) {
+    return {f, oid.page, oid.slot, LockLevel::kRecord};
+  }
+
+  friend bool operator==(const LockName&, const LockName&) = default;
+};
+
+struct LockNameHash {
+  size_t operator()(const LockName& n) const {
+    uint64_t h = (static_cast<uint64_t>(n.file) << 34) ^
+                 (static_cast<uint64_t>(n.page) << 10) ^
+                 (static_cast<uint64_t>(n.slot) << 2) ^
+                 static_cast<uint64_t>(n.level);
+    return std::hash<uint64_t>()(h);
+  }
+};
+
+bool LockModesCompatible(LockMode held, LockMode requested);
+
+/// True if `held` already covers `requested` (e.g. X covers S).
+bool LockModeCovers(LockMode held, LockMode requested);
+
+/// The mode that grants both (lattice join), e.g. S + IX = SIX.
+LockMode LockModeJoin(LockMode a, LockMode b);
+
+/// Blocking multi-granularity lock manager with waits-for-graph deadlock
+/// detection (the requester that would close a cycle is aborted) and
+/// record-to-file lock escalation past a per-(txn, file) threshold.
+class LockManager {
+ public:
+  explicit LockManager(size_t escalation_threshold = 64)
+      : escalation_threshold_(escalation_threshold) {}
+
+  LockManager(const LockManager&) = delete;
+  LockManager& operator=(const LockManager&) = delete;
+
+  /// Acquires (or upgrades to) `mode` on `name`. Blocks until granted.
+  /// Returns kAborted if waiting would create a deadlock.
+  ///
+  /// Callers follow the usual protocol: intention locks on ancestors
+  /// before locking descendants. Acquire() checks this in debug builds.
+  Status Acquire(TxnId txn, const LockName& name, LockMode mode);
+
+  /// Releases everything `txn` holds (strict two-phase: locks are held to
+  /// commit/abort).
+  void ReleaseAll(TxnId txn);
+
+  /// True if `txn` holds a lock on `name` covering `mode`.
+  bool Holds(TxnId txn, const LockName& name, LockMode mode) const;
+
+  /// Number of distinct resources currently locked by `txn`.
+  size_t HeldCount(TxnId txn) const;
+
+  struct Stats {
+    int64_t acquired = 0;
+    int64_t waits = 0;
+    int64_t deadlocks = 0;
+    int64_t escalations = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct Holder {
+    TxnId txn;
+    LockMode mode;
+  };
+  struct Waiter {
+    TxnId txn;
+    LockMode mode;
+    bool granted = false;
+  };
+  struct LockEntry {
+    std::vector<Holder> holders;
+    std::list<Waiter*> waiters;
+  };
+
+  // All require mu_ held.
+  bool GrantableLocked(const LockEntry& entry, TxnId txn, LockMode mode) const;
+  bool WouldDeadlockLocked(TxnId requester, const LockName& name,
+                           LockMode mode) const;
+  void GrantWaitersLocked(LockEntry* entry);
+  Status EscalateLocked(std::unique_lock<std::mutex>* lk, TxnId txn,
+                        uint32_t file, LockMode record_mode);
+  Status AcquireLocked(std::unique_lock<std::mutex>* lk, TxnId txn,
+                       const LockName& name, LockMode mode);
+
+  const size_t escalation_threshold_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::unordered_map<LockName, LockEntry, LockNameHash> table_;
+  // txn -> resources it holds (for ReleaseAll / escalation counting).
+  std::unordered_map<TxnId, std::vector<LockName>> held_;
+  Stats stats_;
+};
+
+}  // namespace paradise::storage
+
+#endif  // PARADISE_STORAGE_LOCK_MANAGER_H_

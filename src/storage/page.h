@@ -1,0 +1,64 @@
+#ifndef PARADISE_STORAGE_PAGE_H_
+#define PARADISE_STORAGE_PAGE_H_
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+
+namespace paradise::storage {
+
+/// Fixed page size, matching SHORE-era systems.
+inline constexpr size_t kPageSize = 8192;
+
+/// Pages are allocated in fixed-size extents (Section 2.2).
+inline constexpr uint32_t kPagesPerExtent = 8;
+
+using PageNo = uint32_t;
+inline constexpr PageNo kInvalidPageNo = 0xffffffff;
+
+/// Identifies a page within one node's set of volumes.
+struct PageId {
+  uint32_t volume = 0;
+  PageNo page_no = kInvalidPageNo;
+
+  friend bool operator==(const PageId&, const PageId&) = default;
+};
+
+struct PageIdHash {
+  size_t operator()(const PageId& id) const {
+    return std::hash<uint64_t>()(
+        (static_cast<uint64_t>(id.volume) << 32) | id.page_no);
+  }
+};
+
+/// Raw page frame. Interpretation (slotted page, index node, LOB data) is
+/// up to the layer using it; the first 8 bytes are reserved for the page
+/// LSN used by recovery.
+class Page {
+ public:
+  Page() { data_.fill(0); }
+
+  uint8_t* data() { return data_.data(); }
+  const uint8_t* data() const { return data_.data(); }
+
+  uint64_t lsn() const {
+    uint64_t v;
+    std::memcpy(&v, data_.data(), sizeof(v));
+    return v;
+  }
+  void set_lsn(uint64_t lsn) { std::memcpy(data_.data(), &lsn, sizeof(lsn)); }
+
+  /// Payload area after the LSN word.
+  static constexpr size_t kHeaderSize = 8;
+  static constexpr size_t kPayloadSize = kPageSize - kHeaderSize;
+  uint8_t* payload() { return data_.data() + kHeaderSize; }
+  const uint8_t* payload() const { return data_.data() + kHeaderSize; }
+
+ private:
+  std::array<uint8_t, kPageSize> data_;
+};
+
+}  // namespace paradise::storage
+
+#endif  // PARADISE_STORAGE_PAGE_H_

@@ -1,0 +1,91 @@
+#include "storage/recovery.h"
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/logging.h"
+#include "storage/heap_file.h"
+#include "storage/wal.h"
+
+namespace paradise::storage {
+
+Status RecoveryManager::Recover() {
+  LogManager* log = txn_manager_->log();
+  std::vector<LogRecord> records = log->DurableRecords();
+
+  // ---- Analysis: which transactions were active at the crash? ----
+  std::unordered_map<TxnId, Lsn> last_lsn;   // per-txn newest record
+  std::unordered_set<TxnId> finished;        // committed or fully aborted
+  for (const LogRecord& rec : records) {
+    ++stats_.records_analyzed;
+    last_lsn[rec.txn] = rec.lsn;
+    if (rec.type == LogRecordType::kCommit ||
+        rec.type == LogRecordType::kAbort) {
+      finished.insert(rec.txn);
+    }
+  }
+
+  // ---- Redo: repeat history for every data record not on disk. ----
+  for (const LogRecord& rec : records) {
+    bool is_data = rec.type == LogRecordType::kInsert ||
+                   rec.type == LogRecordType::kDelete ||
+                   rec.type == LogRecordType::kUpdate ||
+                   rec.type == LogRecordType::kClr;
+    if (!is_data) continue;
+    HeapFile* file = txn_manager_->FileById(rec.file_id);
+    if (file == nullptr) {
+      return Status::Corruption("redo references unknown file");
+    }
+    PARADISE_ASSIGN_OR_RETURN(Lsn page_lsn, file->PageLsn(rec.oid.page));
+    if (page_lsn >= rec.lsn) continue;  // change already reached disk
+
+    LogRecordType effective = rec.type;
+    if (rec.type == LogRecordType::kClr) {
+      // A CLR redoes the *inverse* of what it compensates.
+      switch (rec.compensated) {
+        case LogRecordType::kInsert: effective = LogRecordType::kDelete; break;
+        case LogRecordType::kDelete: effective = LogRecordType::kInsert; break;
+        case LogRecordType::kUpdate: effective = LogRecordType::kUpdate; break;
+        default:
+          return Status::Corruption("CLR compensates non-data record");
+      }
+    }
+    switch (effective) {
+      case LogRecordType::kInsert:
+        PARADISE_RETURN_IF_ERROR(file->ApplyInsert(rec.oid, rec.after, rec.lsn));
+        break;
+      case LogRecordType::kDelete:
+        PARADISE_RETURN_IF_ERROR(file->ApplyDelete(rec.oid, rec.lsn));
+        break;
+      case LogRecordType::kUpdate:
+        PARADISE_RETURN_IF_ERROR(file->ApplyUpdate(rec.oid, rec.after, rec.lsn));
+        break;
+      default:
+        break;
+    }
+    ++stats_.records_redone;
+  }
+
+  // ---- Undo: roll back losers (newest first is not required since the
+  // chains are independent per transaction). ----
+  for (const auto& [txn_id, lsn] : last_lsn) {
+    if (finished.contains(txn_id)) continue;
+    ++stats_.loser_txns;
+    PARADISE_RETURN_IF_ERROR(txn_manager_->Rollback(txn_id, lsn));
+    LogRecord abort;
+    abort.txn = txn_id;
+    abort.type = LogRecordType::kAbort;
+    abort.prev_lsn = lsn;
+    Lsn abort_lsn = log->Append(std::move(abort));
+    log->Force(abort_lsn);
+  }
+
+  // In-memory record counters are not crash-consistent; rebuild them.
+  for (HeapFile* file : txn_manager_->AllFiles()) {
+    PARADISE_RETURN_IF_ERROR(file->RecountRecords());
+  }
+  return Status::OK();
+}
+
+}  // namespace paradise::storage

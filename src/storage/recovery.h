@@ -1,0 +1,39 @@
+#ifndef PARADISE_STORAGE_RECOVERY_H_
+#define PARADISE_STORAGE_RECOVERY_H_
+
+#include "common/status.h"
+#include "storage/transaction.h"
+
+namespace paradise::storage {
+
+/// ARIES-style crash recovery over the durable log prefix:
+///   1. Analysis: find loser transactions (active at crash).
+///   2. Redo: repeat history — every durable data record whose page LSN
+///      shows the change did not reach disk is reapplied.
+///   3. Undo: roll losers back via their log chains, writing CLRs, then
+///      log their abort records.
+///
+/// Call after a simulated crash (BufferPool::DiscardAll +
+/// LogManager::CrashTruncate).
+class RecoveryManager {
+ public:
+  explicit RecoveryManager(TransactionManager* txn_manager)
+      : txn_manager_(txn_manager) {}
+
+  Status Recover();
+
+  struct RecoveryStats {
+    int64_t records_analyzed = 0;
+    int64_t records_redone = 0;
+    int64_t loser_txns = 0;
+  };
+  const RecoveryStats& stats() const { return stats_; }
+
+ private:
+  TransactionManager* const txn_manager_;
+  RecoveryStats stats_;
+};
+
+}  // namespace paradise::storage
+
+#endif  // PARADISE_STORAGE_RECOVERY_H_

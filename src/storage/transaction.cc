@@ -1,0 +1,130 @@
+#include "storage/transaction.h"
+
+#include "common/logging.h"
+#include "storage/heap_file.h"
+
+namespace paradise::storage {
+
+void TransactionManager::RegisterFile(HeapFile* file) {
+  std::lock_guard<std::mutex> g(mu_);
+  files_[file->file_id()] = file;
+}
+
+HeapFile* TransactionManager::FileById(uint32_t file_id) const {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = files_.find(file_id);
+  return it == files_.end() ? nullptr : it->second;
+}
+
+std::vector<HeapFile*> TransactionManager::AllFiles() const {
+  std::lock_guard<std::mutex> g(mu_);
+  std::vector<HeapFile*> out;
+  out.reserve(files_.size());
+  for (const auto& [id, file] : files_) out.push_back(file);
+  return out;
+}
+
+std::unique_ptr<Transaction> TransactionManager::Begin() {
+  TxnId id;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    id = next_txn_id_++;
+  }
+  LogRecord rec;
+  rec.txn = id;
+  rec.type = LogRecordType::kBegin;
+  Lsn lsn = log_->Append(std::move(rec));
+  return std::make_unique<Transaction>(id, lsn);
+}
+
+Status TransactionManager::Commit(Transaction* txn) {
+  PARADISE_CHECK(txn->state() == TxnState::kActive);
+  LogRecord rec;
+  rec.txn = txn->id();
+  rec.type = LogRecordType::kCommit;
+  rec.prev_lsn = txn->last_lsn();
+  Lsn lsn = log_->Append(std::move(rec));
+  log_->Force(lsn);  // WAL commit rule
+  txn->set_last_lsn(lsn);
+  txn->set_state(TxnState::kCommitted);
+  return Status::OK();
+}
+
+Status TransactionManager::Rollback(TxnId txn_id, Lsn from_lsn) {
+  Lsn cur = from_lsn;
+  while (cur != kInvalidLsn) {
+    LogRecord rec = log_->RecordAt(cur);
+    if (rec.txn != txn_id) {
+      return Status::Corruption("undo chain crossed transactions");
+    }
+    switch (rec.type) {
+      case LogRecordType::kBegin:
+        cur = kInvalidLsn;
+        break;
+      case LogRecordType::kClr:
+        // Already-undone region: skip to what remains.
+        cur = rec.undo_next_lsn;
+        break;
+      case LogRecordType::kInsert:
+      case LogRecordType::kDelete:
+      case LogRecordType::kUpdate: {
+        HeapFile* file = FileById(rec.file_id);
+        if (file == nullptr) {
+          return Status::Corruption("undo references unknown file");
+        }
+        // Write the CLR first (its LSN stamps the page), then compensate.
+        LogRecord clr;
+        clr.txn = txn_id;
+        clr.type = LogRecordType::kClr;
+        clr.prev_lsn = cur;
+        clr.file_id = rec.file_id;
+        clr.oid = rec.oid;
+        clr.undo_next_lsn = rec.prev_lsn;
+        clr.compensated = rec.type;
+        // The CLR's redo information is the inverse operation's post-state.
+        if (rec.type == LogRecordType::kDelete ||
+            rec.type == LogRecordType::kUpdate) {
+          clr.after = rec.before;
+        }
+        Lsn clr_lsn = log_->Append(std::move(clr));
+        switch (rec.type) {
+          case LogRecordType::kInsert:
+            PARADISE_RETURN_IF_ERROR(file->ApplyDelete(rec.oid, clr_lsn));
+            break;
+          case LogRecordType::kDelete:
+            PARADISE_RETURN_IF_ERROR(
+                file->ApplyInsert(rec.oid, rec.before, clr_lsn));
+            break;
+          case LogRecordType::kUpdate:
+            PARADISE_RETURN_IF_ERROR(
+                file->ApplyUpdate(rec.oid, rec.before, clr_lsn));
+            break;
+          default:
+            break;
+        }
+        cur = rec.prev_lsn;
+        break;
+      }
+      default:
+        cur = rec.prev_lsn;
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+Status TransactionManager::Abort(Transaction* txn) {
+  PARADISE_CHECK(txn->state() == TxnState::kActive);
+  PARADISE_RETURN_IF_ERROR(Rollback(txn->id(), txn->last_lsn()));
+  LogRecord rec;
+  rec.txn = txn->id();
+  rec.type = LogRecordType::kAbort;
+  rec.prev_lsn = txn->last_lsn();
+  Lsn lsn = log_->Append(std::move(rec));
+  log_->Force(lsn);
+  txn->set_last_lsn(lsn);
+  txn->set_state(TxnState::kAborted);
+  return Status::OK();
+}
+
+}  // namespace paradise::storage

@@ -1,0 +1,74 @@
+#ifndef PARADISE_STORAGE_TRANSACTION_H_
+#define PARADISE_STORAGE_TRANSACTION_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "storage/wal.h"
+
+namespace paradise::storage {
+
+class HeapFile;
+
+enum class TxnState { kActive, kCommitted, kAborted };
+
+/// A transaction handle: identity plus the backward log-record chain used
+/// for rollback.
+class Transaction {
+ public:
+  Transaction(TxnId id, Lsn begin_lsn)
+      : id_(id), last_lsn_(begin_lsn), state_(TxnState::kActive) {}
+
+  TxnId id() const { return id_; }
+  Lsn last_lsn() const { return last_lsn_; }
+  void set_last_lsn(Lsn lsn) { last_lsn_ = lsn; }
+  TxnState state() const { return state_; }
+  void set_state(TxnState s) { state_ = s; }
+
+ private:
+  const TxnId id_;
+  Lsn last_lsn_;
+  TxnState state_;
+};
+
+/// Creates, commits, and aborts transactions against a LogManager, and
+/// resolves file ids to HeapFiles during rollback/recovery.
+class TransactionManager {
+ public:
+  explicit TransactionManager(LogManager* log) : log_(log) {}
+
+  TransactionManager(const TransactionManager&) = delete;
+  TransactionManager& operator=(const TransactionManager&) = delete;
+
+  void RegisterFile(HeapFile* file);
+
+  std::unique_ptr<Transaction> Begin();
+
+  /// Commit = force the log through the txn's last record (WAL rule).
+  Status Commit(Transaction* txn);
+
+  /// Abort = undo the txn's changes via its log chain (writing CLRs), then
+  /// log the abort record.
+  Status Abort(Transaction* txn);
+
+  HeapFile* FileById(uint32_t file_id) const;
+  std::vector<HeapFile*> AllFiles() const;
+  LogManager* log() const { return log_; }
+
+  /// Rolls a txn's chain back starting at `from_lsn`, writing CLRs.
+  /// Shared by Abort and crash recovery's undo pass.
+  Status Rollback(TxnId txn_id, Lsn from_lsn);
+
+ private:
+  LogManager* const log_;
+  mutable std::mutex mu_;
+  TxnId next_txn_id_ = 1;
+  std::unordered_map<uint32_t, HeapFile*> files_;
+};
+
+}  // namespace paradise::storage
+
+#endif  // PARADISE_STORAGE_TRANSACTION_H_

@@ -1,0 +1,58 @@
+#include "storage/wal.h"
+
+#include "common/logging.h"
+
+namespace paradise::storage {
+
+Lsn LogManager::Append(LogRecord record) {
+  std::lock_guard<std::mutex> g(mu_);
+  record.lsn = records_.size() + 1;
+  records_.push_back(std::move(record));
+  return records_.back().lsn;
+}
+
+void LogManager::Force(Lsn lsn) {
+  std::lock_guard<std::mutex> g(mu_);
+  if (lsn <= durable_lsn_) return;
+  Lsn target = std::min<Lsn>(lsn, records_.size());
+  if (clock_ != nullptr) {
+    // Log writes are sequential appends to the dedicated log disk: charge
+    // the byte volume of the newly forced records plus one positioning op.
+    int64_t bytes = 0;
+    for (Lsn l = durable_lsn_ + 1; l <= target; ++l) {
+      const LogRecord& r = records_[l - 1];
+      bytes += 64 + static_cast<int64_t>(r.before.size() + r.after.size());
+    }
+    clock_->ChargeDiskWrite(bytes, /*seeks=*/1);
+  }
+  durable_lsn_ = target;
+}
+
+Lsn LogManager::durable_lsn() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return durable_lsn_;
+}
+
+Lsn LogManager::last_lsn() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return records_.size();
+}
+
+void LogManager::CrashTruncate() {
+  std::lock_guard<std::mutex> g(mu_);
+  records_.resize(durable_lsn_);
+}
+
+std::vector<LogRecord> LogManager::DurableRecords() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return std::vector<LogRecord>(records_.begin(),
+                                records_.begin() + durable_lsn_);
+}
+
+const LogRecord& LogManager::RecordAt(Lsn lsn) const {
+  std::lock_guard<std::mutex> g(mu_);
+  PARADISE_CHECK(lsn >= 1 && lsn <= records_.size());
+  return records_[lsn - 1];
+}
+
+}  // namespace paradise::storage

@@ -1,0 +1,267 @@
+#include <gtest/gtest.h>
+
+#include "benchmark/database.h"
+#include "benchmark/queries.h"
+
+namespace paradise::benchmark {
+namespace {
+
+using exec::Tuple;
+using exec::TupleVec;
+using exec::ValueType;
+
+datagen::DataSetOptions TinyOptions() {
+  datagen::DataSetOptions o;
+  o.size_fraction = 1.0 / 1000;
+  o.num_dates = 8;
+  o.base_raster_size = 96;
+  return o;
+}
+
+struct LoadedDb {
+  std::unique_ptr<core::Cluster> cluster;
+  std::unique_ptr<BenchmarkDatabase> db;
+};
+
+LoadedDb LoadTiny(int nodes, bool decluster_rasters = false) {
+  LoadedDb out;
+  core::Cluster::Options copts;
+  copts.buffer_pool_frames = 2048;
+  out.cluster = std::make_unique<core::Cluster>(nodes, copts);
+  datagen::GlobalDataSet ds = datagen::GenerateGlobalDataSet(TinyOptions());
+  LoadOptions lopts;
+  lopts.decluster_rasters = decluster_rasters;
+  lopts.tiles_per_axis = 20;
+  auto db = BenchmarkDatabase::Load(out.cluster.get(), ds, lopts);
+  EXPECT_TRUE(db.ok()) << db.status().ToString();
+  out.db = std::move(*db);
+  return out;
+}
+
+/// Fingerprint of a result set that ignores row order and large-object
+/// identity: per-row string of scalar columns, sorted.
+std::multiset<std::string> Fingerprint(const TupleVec& rows) {
+  std::multiset<std::string> out;
+  for (const Tuple& t : rows) {
+    std::string s;
+    for (const exec::Value& v : t.values) {
+      switch (v.type()) {
+        case ValueType::kRaster: {
+          char buf[64];
+          std::snprintf(buf, sizeof(buf), "raster[%ux%u]",
+                        v.AsRaster()->height(), v.AsRaster()->width());
+          s += buf;
+          break;
+        }
+        case ValueType::kDouble: {
+          char buf[32];
+          std::snprintf(buf, sizeof(buf), "%.6f", v.AsDouble());
+          s += buf;
+          break;
+        }
+        default:
+          s += v.ToString();
+      }
+      s += "|";
+    }
+    out.insert(std::move(s));
+  }
+  return out;
+}
+
+TEST(BenchmarkDbTest, LoadBuildsAllTables) {
+  LoadedDb l = LoadTiny(2);
+  EXPECT_GT(l.db->places().num_rows(), 0);
+  EXPECT_GT(l.db->roads().num_rows(), 0);
+  EXPECT_GT(l.db->drainage().num_rows(), 0);
+  EXPECT_GT(l.db->land_cover().num_rows(), 0);
+  EXPECT_EQ(l.db->raster().num_rows(), 32);  // 8 dates x 4 channels
+  // Spatial tables replicate spanning tuples.
+  EXPECT_GE(l.db->roads().num_stored(), l.db->roads().num_rows());
+  // Raster tuples land on the node holding their tiles.
+  for (int n = 0; n < 2; ++n) {
+    auto frag = l.db->raster().ScanFragment(l.cluster.get(), n, true);
+    ASSERT_TRUE(frag.ok());
+    for (const Tuple& t : *frag) {
+      EXPECT_EQ(t.at(datagen::col::kRasterData).AsRaster()->handle.owner_node,
+                static_cast<uint32_t>(n));
+    }
+  }
+}
+
+TEST(BenchmarkQueryTest, Query2ClipsChannel5SortedByDate) {
+  LoadedDb l = LoadTiny(2);
+  auto r = RunQuery2(l.db.get());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->rows.size(), 8u);  // one per date at channel 5
+  EXPECT_GT(r->seconds, 0.0);
+  for (size_t i = 1; i < r->rows.size(); ++i) {
+    EXPECT_LE(r->rows[i - 1].at(0).AsDate().days_since_epoch(),
+              r->rows[i].at(0).AsDate().days_since_epoch());
+  }
+  // The clipped attribute is a (smaller) raster.
+  const auto& clip = r->rows[0].at(1);
+  ASSERT_EQ(clip.type(), ValueType::kRaster);
+  EXPECT_LT(clip.AsRaster()->width(), 96u);
+}
+
+TEST(BenchmarkQueryTest, Query3ProducesOneAverageImage) {
+  LoadedDb l = LoadTiny(2);
+  auto r = RunQuery3(l.db.get());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(r->rows[0].at(0).type(), ValueType::kRaster);
+}
+
+TEST(BenchmarkQueryTest, Query4InsertsOneRow) {
+  LoadedDb l = LoadTiny(2);
+  auto r = RunQuery4(l.db.get());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(r->rows[0].at(0).AsInt(), 1);  // one raster matched
+}
+
+TEST(BenchmarkQueryTest, Query5FindsPhoenix) {
+  LoadedDb l = LoadTiny(2);
+  auto r = RunQuery5(l.db.get());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(r->rows[0].at(datagen::col::kPlaceName).AsString(), "Phoenix");
+}
+
+TEST(BenchmarkQueryTest, Query6MatchesBruteForce) {
+  LoadedDb l = LoadTiny(2);
+  auto r = RunQuery6(l.db.get());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // Brute force over the generated data.
+  datagen::GlobalDataSet ds = datagen::GenerateGlobalDataSet(TinyOptions());
+  const geom::Polygon& poly = *l.db->constants().clip_polygon;
+  int64_t expected = 0;
+  for (const Tuple& t : ds.land_cover) {
+    if (t.at(datagen::col::kLcShape).AsPolygon()->Intersects(poly)) ++expected;
+  }
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(r->rows[0].at(0).AsInt(), expected);
+}
+
+TEST(BenchmarkQueryTest, Query7AreasWithinBounds) {
+  LoadedDb l = LoadTiny(2);
+  auto r = RunQuery7(l.db.get());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  for (const Tuple& t : r->rows) {
+    EXPECT_LT(t.at(0).AsDouble(), l.db->constants().max_area);
+  }
+}
+
+TEST(BenchmarkQueryTest, Query11OneRowPerRoadType) {
+  LoadedDb l = LoadTiny(2);
+  auto r = RunQuery11(l.db.get());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->rows.size(), static_cast<size_t>(datagen::kNumRoadTypes));
+  for (const Tuple& t : r->rows) {
+    EXPECT_EQ(t.at(1).type(), ValueType::kPolyline);  // closest shape
+    EXPECT_GE(t.at(2).AsDouble(), 0.0);               // distance
+  }
+}
+
+TEST(BenchmarkQueryTest, Query12OneRowPerLargeCity) {
+  LoadedDb l = LoadTiny(2);
+  auto r = RunQuery12(l.db.get());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  int64_t large = 0;
+  datagen::GlobalDataSet ds = datagen::GenerateGlobalDataSet(TinyOptions());
+  std::set<std::pair<double, double>> locations;
+  for (const Tuple& t : ds.populated_places) {
+    if (t.at(datagen::col::kPlaceType).AsInt() == datagen::kLargeCityType) {
+      ++large;
+      const geom::Point& p = t.at(datagen::col::kPlaceLocation).AsPoint();
+      locations.insert({p.x, p.y});
+    }
+  }
+  ASSERT_GT(large, 0);
+  // Result rows are per distinct city location.
+  EXPECT_EQ(r->rows.size(), locations.size());
+}
+
+TEST(BenchmarkQueryTest, Query13MatchesBruteForce) {
+  LoadedDb l = LoadTiny(2);
+  auto r = RunQuery13(l.db.get());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  datagen::GlobalDataSet ds = datagen::GenerateGlobalDataSet(TinyOptions());
+  int64_t expected = 0;
+  for (const Tuple& d : ds.drainage) {
+    for (const Tuple& road : ds.roads) {
+      if (d.at(datagen::col::kLineShape)
+              .AsPolyline()
+              ->Intersects(*road.at(datagen::col::kLineShape).AsPolyline())) {
+        ++expected;
+      }
+    }
+  }
+  EXPECT_EQ(static_cast<int64_t>(r->rows.size()), expected);
+}
+
+TEST(BenchmarkQueryTest, Query14CoversDateRange) {
+  LoadedDb l = LoadTiny(2);
+  auto r = RunQuery14(l.db.get());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // Every result row pairs an oil-field polygon with a clipped raster.
+  for (const Tuple& t : r->rows) {
+    EXPECT_EQ(t.at(0).type(), ValueType::kPolygon);
+    EXPECT_EQ(t.at(1).type(), ValueType::kRaster);
+  }
+}
+
+/// The headline invariant: every query returns identical results no
+/// matter how many nodes the database is declustered over.
+class NodeCountEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(NodeCountEquivalenceTest, AllQueriesMatchSingleNode) {
+  int query = GetParam();
+  LoadedDb one = LoadTiny(1);
+  LoadedDb four = LoadTiny(4);
+  auto r1 = RunQueryByNumber(one.db.get(), query);
+  auto r4 = RunQueryByNumber(four.db.get(), query);
+  ASSERT_TRUE(r1.ok()) << "1-node: " << r1.status().ToString();
+  ASSERT_TRUE(r4.ok()) << "4-node: " << r4.status().ToString();
+  EXPECT_EQ(Fingerprint(r1->rows), Fingerprint(r4->rows)) << "query " << query;
+}
+
+INSTANTIATE_TEST_SUITE_P(Queries, NodeCountEquivalenceTest,
+                         ::testing::Values(2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12,
+                                           13, 14));
+
+TEST(DeclusterTest, DeclusteredRastersStillAnswerCorrectly) {
+  LoadedDb normal = LoadTiny(4, /*decluster_rasters=*/false);
+  LoadedDb decl = LoadTiny(4, /*decluster_rasters=*/true);
+  auto r1 = RunQuery2(normal.db.get());
+  auto r2 = RunQuery2(decl.db.get());
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_EQ(Fingerprint(r1->rows), Fingerprint(r2->rows));
+  // Declustering makes Query 2 *slower* (remote pulls) — Table 3.5's
+  // first row.
+  EXPECT_GT(r2->seconds, r1->seconds);
+}
+
+TEST(DeclusterTest, WholeImageAverageBenefitsFromDeclustering) {
+  LoadedDb normal = LoadTiny(4, /*decluster_rasters=*/false);
+  LoadedDb decl = LoadTiny(4, /*decluster_rasters=*/true);
+  auto r1 = RunQuery3Prime(normal.db.get());
+  auto r2 = RunQuery3Prime(decl.db.get());
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  // Table 3.5's Q3' row: declustering wins big on whole-image work.
+  EXPECT_LT(r2->seconds, r1->seconds);
+}
+
+TEST(BenchmarkQueryTest, ColdBufferPoolBetweenQueries) {
+  LoadedDb l = LoadTiny(2);
+  auto first = RunQuery5(l.db.get());
+  auto second = RunQuery5(l.db.get());
+  ASSERT_TRUE(first.ok() && second.ok());
+  // Same modeled time on repeat runs: the pool was flushed (no caching
+  // between queries), which is the paper's protocol.
+  EXPECT_NEAR(first->seconds, second->seconds, 1e-9);
+}
+
+}  // namespace
+}  // namespace paradise::benchmark

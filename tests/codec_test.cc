@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "codec/lzw.h"
+#include "common/rng.h"
+
+namespace paradise::codec {
+namespace {
+
+std::vector<uint8_t> Bytes(const std::string& s) {
+  return std::vector<uint8_t>(s.begin(), s.end());
+}
+
+void ExpectRoundTrip(const std::vector<uint8_t>& data) {
+  std::vector<uint8_t> packed = LzwCompress(data);
+  auto unpacked = LzwDecompress(packed);
+  ASSERT_TRUE(unpacked.ok()) << unpacked.status().ToString();
+  EXPECT_EQ(*unpacked, data);
+}
+
+TEST(LzwTest, EmptyInput) { ExpectRoundTrip({}); }
+
+TEST(LzwTest, SingleByte) { ExpectRoundTrip({42}); }
+
+TEST(LzwTest, SimpleString) { ExpectRoundTrip(Bytes("TOBEORNOTTOBEORTOBEORNOT")); }
+
+TEST(LzwTest, KwKwKCase) {
+  // The classic corner case: the decoder sees a code equal to next_code.
+  ExpectRoundTrip(Bytes("aaaaaaaaaaaaaaaaaaaaaa"));
+  ExpectRoundTrip(Bytes("abababababababababab"));
+}
+
+TEST(LzwTest, AllByteValues) {
+  std::vector<uint8_t> data;
+  for (int rep = 0; rep < 4; ++rep) {
+    for (int b = 0; b < 256; ++b) data.push_back(static_cast<uint8_t>(b));
+  }
+  ExpectRoundTrip(data);
+}
+
+TEST(LzwTest, CompressesRepetitiveData) {
+  std::vector<uint8_t> data(64 * 1024, 0);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<uint8_t>((i / 512) & 0xff);  // long runs
+  }
+  std::vector<uint8_t> packed = LzwCompress(data);
+  EXPECT_LT(packed.size(), data.size() / 4);
+  auto unpacked = LzwDecompress(packed);
+  ASSERT_TRUE(unpacked.ok());
+  EXPECT_EQ(*unpacked, data);
+}
+
+TEST(LzwTest, RandomDataDoesNotCorrupt) {
+  Rng rng(123);
+  std::vector<uint8_t> data(50000);
+  for (auto& b : data) b = static_cast<uint8_t>(rng.Next());
+  // Random data typically expands (12-bit codes for 8-bit literals).
+  std::vector<uint8_t> packed = LzwCompress(data);
+  auto unpacked = LzwDecompress(packed);
+  ASSERT_TRUE(unpacked.ok());
+  EXPECT_EQ(*unpacked, data);
+}
+
+TEST(LzwTest, DictionaryResetOnLargeInput) {
+  // Force multiple CLEAR cycles: > 4096 distinct phrases.
+  Rng rng(7);
+  std::vector<uint8_t> data;
+  data.reserve(300000);
+  for (int i = 0; i < 300000; ++i) {
+    data.push_back(static_cast<uint8_t>(rng.NextUint(7) * 37));
+  }
+  ExpectRoundTrip(data);
+}
+
+TEST(LzwTest, SmoothRasterLikeDataCompressesWell) {
+  // 16-bit smooth field, little-endian bytes — what tiles look like.
+  std::vector<uint8_t> data;
+  for (int i = 0; i < 32768; ++i) {
+    uint16_t v = static_cast<uint16_t>(2000 + 100 * ((i / 64) % 8));
+    data.push_back(static_cast<uint8_t>(v & 0xff));
+    data.push_back(static_cast<uint8_t>(v >> 8));
+  }
+  std::vector<uint8_t> packed = LzwCompress(data);
+  EXPECT_LT(packed.size(), data.size() / 2);
+  ExpectRoundTrip(data);
+}
+
+TEST(LzwTest, DecompressRejectsGarbage) {
+  std::vector<uint8_t> garbage = {0xff, 0xff, 0xff, 0xff, 0xff, 0xff};
+  auto result = LzwDecompress(garbage);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(LzwTest, DecompressRejectsTruncation) {
+  std::vector<uint8_t> packed = LzwCompress(Bytes("hello hello hello hello"));
+  packed.resize(packed.size() / 2);
+  auto result = LzwDecompress(packed);
+  // Either corruption is detected or the END marker is missing.
+  EXPECT_FALSE(result.ok());
+}
+
+/// Parameterized roundtrip sweep over sizes and alphabet widths.
+class LzwSweepTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(LzwSweepTest, RoundTrip) {
+  auto [size, alphabet] = GetParam();
+  Rng rng(static_cast<uint64_t>(size) * 1000003 + alphabet);
+  std::vector<uint8_t> data(static_cast<size_t>(size));
+  for (auto& b : data) {
+    b = static_cast<uint8_t>(rng.NextUint(static_cast<uint64_t>(alphabet)));
+  }
+  ExpectRoundTrip(data);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndAlphabets, LzwSweepTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 100, 4095, 4096, 4097,
+                                         65536),
+                       ::testing::Values(1, 2, 16, 256)));
+
+}  // namespace
+}  // namespace paradise::codec

@@ -1,0 +1,499 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "core/cluster.h"
+#include "core/coordinator.h"
+#include "core/parallel_ops.h"
+#include "core/pull.h"
+#include "core/spatial_grid.h"
+#include "core/table.h"
+#include "datagen/datagen.h"
+#include "exec/spatial_join.h"
+
+namespace paradise::core {
+namespace {
+
+using catalog::PartitioningKind;
+using catalog::TableDef;
+using exec::CompareOp;
+using exec::Tuple;
+using exec::TupleVec;
+using exec::Value;
+using exec::ValueType;
+using geom::Box;
+using geom::Point;
+using geom::Polygon;
+using geom::Polyline;
+
+// ---------- SpatialGrid ----------
+
+TEST(SpatialGridTest, TileNumberingRowMajorFromUpperLeft) {
+  SpatialGrid grid(Box(0, 0, 100, 100), 10, 4);
+  // Upper-left corner -> tile 0.
+  EXPECT_EQ(grid.TileOfPoint(Point{0.5, 99.5}), 0u);
+  EXPECT_EQ(grid.TileOfPoint(Point{99.5, 99.5}), 9u);
+  EXPECT_EQ(grid.TileOfPoint(Point{0.5, 0.5}), 90u);
+  EXPECT_EQ(grid.TileOfPoint(Point{99.5, 0.5}), 99u);
+}
+
+TEST(SpatialGridTest, TileBoxRoundTrips) {
+  SpatialGrid grid(Box(-50, -20, 70, 40), 16, 4);
+  for (uint32_t t = 0; t < grid.num_tiles(); ++t) {
+    Box b = grid.TileBox(t);
+    EXPECT_EQ(grid.TileOfPoint(b.Center()), t);
+  }
+}
+
+TEST(SpatialGridTest, TilesOfBoxCoversAndOnlyOverlaps) {
+  SpatialGrid grid(Box(0, 0, 100, 100), 10, 4);
+  Box q(15, 25, 38, 47);
+  std::vector<uint32_t> tiles = grid.TilesOfBox(q);
+  std::set<uint32_t> got(tiles.begin(), tiles.end());
+  for (uint32_t t = 0; t < grid.num_tiles(); ++t) {
+    bool overlaps = grid.TileBox(t).Intersects(q);
+    EXPECT_EQ(got.contains(t), overlaps) << "tile " << t;
+  }
+}
+
+TEST(SpatialGridTest, NodeMappingCoversAllNodes) {
+  SpatialGrid grid(Box(0, 0, 1, 1), 100, 16);
+  std::set<uint32_t> nodes;
+  for (uint32_t t = 0; t < grid.num_tiles(); ++t) nodes.insert(grid.NodeOfTile(t));
+  EXPECT_EQ(nodes.size(), 16u);
+}
+
+TEST(SpatialGridTest, PrimaryNodeIsAmongDestinations) {
+  Rng rng(8);
+  SpatialGrid grid(Box(-100, -100, 100, 100), 50, 8);
+  for (int i = 0; i < 200; ++i) {
+    double x = rng.NextDouble(-120, 120);  // may poke outside the universe
+    double y = rng.NextDouble(-120, 120);
+    Box b(x, y, x + rng.NextDouble(0, 30), y + rng.NextDouble(0, 30));
+    std::vector<uint32_t> nodes = grid.NodesOfBox(b);
+    ASSERT_FALSE(nodes.empty());
+    uint32_t primary = grid.PrimaryNode(b);
+    EXPECT_NE(std::find(nodes.begin(), nodes.end(), primary), nodes.end());
+  }
+}
+
+// ---------- Cluster / table loading ----------
+
+Cluster::Options SmallClusterOptions() {
+  Cluster::Options o;
+  o.buffer_pool_frames = 512;
+  return o;
+}
+
+TableDef PolyTableDef(const std::string& name, PartitioningKind part,
+                      const Box& universe) {
+  TableDef def;
+  def.name = name;
+  def.schema = exec::Schema(
+      {{"id", ValueType::kInt}, {"shape", ValueType::kPolygon}});
+  def.partitioning = part;
+  def.partition_column = 1;
+  def.universe = universe;
+  return def;
+}
+
+TupleVec RandomPolyTuples(Rng* rng, int n, double extent, double radius) {
+  TupleVec out;
+  for (int i = 0; i < n; ++i) {
+    double cx = rng->NextDouble(-extent, extent);
+    double cy = rng->NextDouble(-extent, extent);
+    std::vector<Point> ring;
+    for (int k = 0; k < 6; ++k) {
+      double angle = 2 * M_PI * k / 6;
+      double r = radius * (0.5 + 0.5 * rng->NextDouble());
+      ring.push_back(Point{cx + r * std::cos(angle), cy + r * std::sin(angle)});
+    }
+    out.push_back(Tuple({Value(int64_t{i}), Value(Polygon(std::move(ring)))}));
+  }
+  return out;
+}
+
+std::multiset<int64_t> Ids(const TupleVec& rows, size_t col = 0) {
+  std::multiset<int64_t> out;
+  for (const Tuple& t : rows) out.insert(t.at(col).AsInt());
+  return out;
+}
+
+TEST(ParallelTableTest, RoundRobinLoadAndScan) {
+  Cluster cluster(4, SmallClusterOptions());
+  Rng rng(1);
+  TupleVec rows = RandomPolyTuples(&rng, 100, 50, 3);
+  TableDef def = PolyTableDef("t", PartitioningKind::kRoundRobin, Box());
+  auto table = ParallelTable::Load(&cluster, def, rows);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->num_rows(), 100);
+  EXPECT_EQ((*table)->num_stored(), 100);  // no replication
+  // Fragments are balanced.
+  for (int n = 0; n < 4; ++n) {
+    EXPECT_EQ((*table)->fragment(n).num_rows(), 25);
+  }
+  // Scanning all fragments returns every tuple exactly once.
+  std::multiset<int64_t> seen;
+  for (int n = 0; n < 4; ++n) {
+    auto frag = (*table)->ScanFragment(&cluster, n, true);
+    ASSERT_TRUE(frag.ok());
+    for (const Tuple& t : *frag) seen.insert(t.at(0).AsInt());
+  }
+  EXPECT_EQ(seen, Ids(rows));
+}
+
+TEST(ParallelTableTest, SpatialLoadReplicatesSpanningTuples) {
+  Cluster cluster(4, SmallClusterOptions());
+  Rng rng(2);
+  Box universe(-60, -60, 60, 60);
+  TupleVec rows = RandomPolyTuples(&rng, 200, 50, 8);  // big: spans tiles
+  TableDef def = PolyTableDef("t", PartitioningKind::kSpatial, universe);
+  auto table = ParallelTable::Load(&cluster, def, rows, /*tiles_per_axis=*/20);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->num_rows(), 200);       // primaries
+  EXPECT_GT((*table)->num_stored(), 200);     // replicas exist
+  // Primary-only scan sees each tuple exactly once.
+  std::multiset<int64_t> seen;
+  for (int n = 0; n < 4; ++n) {
+    auto frag = (*table)->ScanFragment(&cluster, n, true);
+    ASSERT_TRUE(frag.ok());
+    for (const Tuple& t : *frag) seen.insert(t.at(0).AsInt());
+  }
+  EXPECT_EQ(seen, Ids(rows));
+}
+
+TEST(ParallelTableTest, ScanChargesDiskOnce) {
+  Cluster cluster(2, SmallClusterOptions());
+  Rng rng(3);
+  TupleVec rows = RandomPolyTuples(&rng, 500, 50, 2);
+  TableDef def = PolyTableDef("t", PartitioningKind::kRoundRobin, Box());
+  auto table = ParallelTable::Load(&cluster, def, rows);
+  ASSERT_TRUE(table.ok());
+  cluster.ResetForQuery();
+  auto frag = (*table)->ScanFragment(&cluster, 0, true);
+  ASSERT_TRUE(frag.ok());
+  sim::ResourceUsage u = cluster.node(0).clock()->EndPhase();
+  EXPECT_GT(u.disk_bytes_read, 0);
+  EXPECT_GT(u.cpu_ops, 0);
+}
+
+// ---------- Parallel operators: the result-preserving invariant ----------
+
+/// Runs the same logical operation on a 1-node and an N-node cluster; the
+/// results must be identical. This is the core correctness claim of
+/// declustering + replication + duplicate elimination.
+class ParallelEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelEquivalenceTest, SpatialSelectMatchesSerial) {
+  int N = GetParam();
+  Rng rng(42);
+  Box universe(-60, -60, 60, 60);
+  TupleVec rows = RandomPolyTuples(&rng, 300, 50, 6);
+  Polygon query({Point{-20, -20}, Point{25, -20}, Point{25, 25},
+                 Point{-20, 25}});
+  exec::ExprPtr exact =
+      exec::Overlaps(exec::Col(1), exec::Lit(Value(query)));
+
+  auto run = [&](int nodes) -> std::multiset<int64_t> {
+    Cluster cluster(nodes, SmallClusterOptions());
+    TableDef def = PolyTableDef("t", PartitioningKind::kSpatial, universe);
+    def.indexes = {catalog::IndexDef{"shape_idx", 1, true}};
+    auto table = ParallelTable::Load(&cluster, def, rows, 20);
+    EXPECT_TRUE(table.ok());
+    QueryCoordinator coord(&cluster);
+    coord.BeginQuery();
+    auto per = ParallelSpatialIndexSelect(&coord, **table, query.Mbr(), exact);
+    EXPECT_TRUE(per.ok());
+    auto gathered = Gather(&coord, *per);
+    EXPECT_TRUE(gathered.ok());
+    EXPECT_GT(coord.query_seconds(), 0.0);
+    return Ids(*gathered);
+  };
+  EXPECT_EQ(run(1), run(N));
+}
+
+TEST_P(ParallelEquivalenceTest, SpatialJoinMatchesSerialNestedLoops) {
+  int N = GetParam();
+  Rng rng(7);
+  Box universe(-40, -40, 40, 40);
+  TupleVec left = RandomPolyTuples(&rng, 120, 35, 4);
+  TupleVec right = RandomPolyTuples(&rng, 100, 35, 4);
+
+  // Serial reference.
+  exec::ExecContext null_ctx;
+  auto nl = exec::NestedLoopsJoin(left, right,
+                                  exec::Overlaps(exec::Col(1), exec::Col(3)),
+                                  null_ctx);
+  ASSERT_TRUE(nl.ok());
+  std::set<std::pair<int64_t, int64_t>> expected;
+  for (const Tuple& t : *nl) {
+    expected.emplace(t.at(0).AsInt(), t.at(2).AsInt());
+  }
+
+  Cluster cluster(N, SmallClusterOptions());
+  QueryCoordinator coord(&cluster);
+  coord.BeginQuery();
+  // Inputs start round-robin placed (arbitrary initial placement).
+  PerNode lper(N), rper(N);
+  for (size_t i = 0; i < left.size(); ++i) lper[i % N].push_back(left[i]);
+  for (size_t i = 0; i < right.size(); ++i) rper[i % N].push_back(right[i]);
+  ParallelSpatialJoinOptions opts;
+  opts.tiles_per_axis = 25;
+  auto joined = ParallelSpatialJoin(&coord, lper, 1, rper, 1, universe, opts);
+  ASSERT_TRUE(joined.ok());
+  std::set<std::pair<int64_t, int64_t>> got;
+  for (const TupleVec& v : *joined) {
+    for (const Tuple& t : v) {
+      auto ins = got.emplace(t.at(0).AsInt(), t.at(2).AsInt());
+      EXPECT_TRUE(ins.second) << "cross-node duplicate";
+    }
+  }
+  EXPECT_EQ(got, expected);
+}
+
+TEST_P(ParallelEquivalenceTest, AggregateMatchesSerial) {
+  int N = GetParam();
+  Rng rng(11);
+  TupleVec rows;
+  for (int i = 0; i < 500; ++i) {
+    rows.push_back(Tuple({Value(rng.NextInt(0, 9)),
+                          Value(rng.NextDouble(0, 1000))}));
+  }
+  auto run = [&](int nodes) {
+    Cluster cluster(nodes, SmallClusterOptions());
+    QueryCoordinator coord(&cluster);
+    coord.BeginQuery();
+    PerNode per(nodes);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      per[i % static_cast<size_t>(nodes)].push_back(rows[i]);
+    }
+    std::vector<exec::AggregatePtr> aggs = {exec::MakeCount(),
+                                            exec::MakeAvg(exec::Col(1))};
+    auto result = ParallelAggregate(&coord, per, {0}, aggs);
+    EXPECT_TRUE(result.ok());
+    return *result;
+  };
+  TupleVec serial = run(1);
+  TupleVec parallel = run(N);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].at(0).AsInt(), parallel[i].at(0).AsInt());
+    EXPECT_EQ(serial[i].at(1).AsInt(), parallel[i].at(1).AsInt());
+    EXPECT_NEAR(serial[i].at(2).AsDouble(), parallel[i].at(2).AsDouble(),
+                1e-9);
+  }
+}
+
+TEST_P(ParallelEquivalenceTest, ClosestJoinMatchesBruteForce) {
+  int N = GetParam();
+  Rng rng(13);
+  Box universe(-50, -50, 50, 50);
+  // Points and polyline features.
+  TupleVec points;
+  for (int i = 0; i < 40; ++i) {
+    points.push_back(Tuple({Value(int64_t{i}),
+                            Value(Point{rng.NextDouble(-48, 48),
+                                        rng.NextDouble(-48, 48)})}));
+  }
+  TupleVec features;
+  for (int i = 0; i < 150; ++i) {
+    double x = rng.NextDouble(-48, 48), y = rng.NextDouble(-48, 48);
+    features.push_back(
+        Tuple({Value(int64_t{i}),
+               Value(Polyline({{x, y},
+                               {x + rng.NextDouble(-3, 3),
+                                y + rng.NextDouble(-3, 3)}}))}));
+  }
+
+  Cluster cluster(N, SmallClusterOptions());
+  QueryCoordinator coord(&cluster);
+  coord.BeginQuery();
+  PerNode pper(N), fper(N);
+  for (size_t i = 0; i < points.size(); ++i) pper[i % N].push_back(points[i]);
+  for (size_t i = 0; i < features.size(); ++i) {
+    fper[i % N].push_back(features[i]);
+  }
+  ClosestJoinStats stats;
+  auto result = SpatialJoinWithClosest(&coord, pper, 1, fper, 1, universe,
+                                       /*tiles_per_axis=*/10, &stats);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), points.size());
+  EXPECT_EQ(stats.local_points + stats.replicated_points,
+            static_cast<int64_t>(points.size()));
+
+  // Brute-force reference: min distance per point.
+  std::map<std::pair<double, double>, double> expected;
+  for (const Tuple& pt : points) {
+    const Point& p = pt.at(1).AsPoint();
+    double best = 1e300;
+    for (const Tuple& ft : features) {
+      best = std::min(best, ft.at(1).AsPolyline()->DistanceTo(p));
+    }
+    expected[{p.x, p.y}] = best;
+  }
+  for (const Tuple& t : *result) {
+    const Point& p = t.at(0).AsPoint();
+    auto it = expected.find({p.x, p.y});
+    ASSERT_TRUE(it != expected.end());
+    EXPECT_NEAR(t.at(2).AsDouble(), it->second, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(NodeCounts, ParallelEquivalenceTest,
+                         ::testing::Values(2, 3, 4, 8));
+
+// ---------- Redistribution & pull ----------
+
+TEST(RedistributeTest, RoutesAndChargesNetwork) {
+  Cluster cluster(4, SmallClusterOptions());
+  QueryCoordinator coord(&cluster);
+  coord.BeginQuery();
+  PerNode input(4);
+  for (int64_t i = 0; i < 100; ++i) {
+    input[static_cast<size_t>(i % 4)].push_back(Tuple({Value(i)}));
+  }
+  auto out = Redistribute(&coord, input,
+                          [](const Tuple& t, std::vector<uint32_t>* dests) {
+                            dests->push_back(
+                                static_cast<uint32_t>(t.at(0).AsInt() % 2));
+                          });
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ((*out)[0].size(), 50u);
+  EXPECT_EQ((*out)[1].size(), 50u);
+  EXPECT_TRUE((*out)[2].empty());
+  EXPECT_TRUE((*out)[3].empty());
+  // Network time was charged (most tuples moved across nodes).
+  ASSERT_EQ(coord.phases().size(), 1u);
+  EXPECT_GT(coord.phases()[0].seconds, 0.0);
+}
+
+TEST(PullTest, RemoteTileReadChargesBothEnds) {
+  Cluster cluster(2, SmallClusterOptions());
+  // Store a large array on node 1.
+  Rng rng(5);
+  std::vector<uint8_t> data(200 * 200 * 2);
+  for (auto& b : data) b = static_cast<uint8_t>(rng.Next());
+  auto handle = array::StoreArray(data.data(), {200, 200}, 2,
+                                  cluster.node(1).lob_store(),
+                                  cluster.node(1).clock(), true, 8192,
+                                  /*owner_node=*/1);
+  ASSERT_TRUE(handle.ok());
+  cluster.ResetForQuery();
+  // Node 0 pulls the whole thing.
+  PullTileSource pull(&cluster, 0);
+  auto full = array::ReadFull(*handle, &pull);
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(*full, ByteBuffer(data.begin(), data.end()));
+  EXPECT_GT(pull.tiles_pulled(), 0);
+  sim::ResourceUsage consumer = cluster.node(0).clock()->EndPhase();
+  sim::ResourceUsage owner = cluster.node(1).clock()->EndPhase();
+  EXPECT_GT(consumer.net_bytes, 0);
+  EXPECT_GT(owner.net_bytes, 0);
+  EXPECT_GT(owner.disk_bytes_read, 0);   // owner did the disk work
+  EXPECT_EQ(consumer.disk_bytes_read, 0);  // consumer read nothing locally
+}
+
+TEST(PullTest, LocalReadIsFree) {
+  Cluster cluster(2, SmallClusterOptions());
+  std::vector<uint8_t> data(100 * 100 * 2, 3);
+  auto handle = array::StoreArray(data.data(), {100, 100}, 2,
+                                  cluster.node(0).lob_store(),
+                                  cluster.node(0).clock(), false, 8192, 0);
+  ASSERT_TRUE(handle.ok());
+  cluster.ResetForQuery();
+  PullTileSource pull(&cluster, 0);
+  auto full = array::ReadFull(*handle, &pull);
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(pull.tiles_pulled(), 0);  // local fast path
+  EXPECT_EQ(cluster.node(0).clock()->EndPhase().net_bytes, 0);
+}
+
+// ---------- Coordinator phase accounting ----------
+
+TEST(CoordinatorTest, PhaseTimeIsMaxOverNodes) {
+  Cluster cluster(4, SmallClusterOptions());
+  QueryCoordinator coord(&cluster);
+  coord.BeginQuery();
+  ASSERT_TRUE(coord.RunPhase("skewed", [&](int n) -> Status {
+                     // Node 3 does 4x the work of the others.
+                     double ops = (n == 3) ? 4e6 : 1e6;
+                     cluster.node(n).clock()->ChargeCpu(ops);
+                     return Status::OK();
+                   })
+                  .ok());
+  const auto& phase = coord.phases()[0];
+  double expected_max = 4e6 / cluster.cost_model().cpu_ops_per_second;
+  EXPECT_NEAR(phase.seconds, expected_max, 1e-12);
+  EXPECT_NEAR(phase.total_node_seconds,
+              7e6 / cluster.cost_model().cpu_ops_per_second, 1e-12);
+}
+
+TEST(CoordinatorTest, SequentialAddsFully) {
+  Cluster cluster(4, SmallClusterOptions());
+  QueryCoordinator coord(&cluster);
+  coord.BeginQuery();
+  ASSERT_TRUE(coord.RunSequential("seq", [&]() -> Status {
+                     cluster.coordinator_clock()->ChargeCpu(9e6);
+                     return Status::OK();
+                   })
+                  .ok());
+  EXPECT_NEAR(coord.query_seconds(),
+              9e6 / cluster.cost_model().cpu_ops_per_second, 1e-12);
+}
+
+// ---------- StoreResult (copy-on-insert) ----------
+
+TEST(StoreResultTest, CopiesTuplesIntoNewTable) {
+  Cluster cluster(3, SmallClusterOptions());
+  QueryCoordinator coord(&cluster);
+  coord.BeginQuery();
+  PerNode input(3);
+  Rng rng(19);
+  TupleVec rows = RandomPolyTuples(&rng, 30, 20, 2);
+  for (size_t i = 0; i < rows.size(); ++i) input[i % 3].push_back(rows[i]);
+  TableDef def = PolyTableDef("result", PartitioningKind::kRoundRobin, Box());
+  auto stored = StoreResult(&coord, input, def);
+  ASSERT_TRUE(stored.ok());
+  EXPECT_EQ((*stored)->num_rows(), 30);
+  std::multiset<int64_t> seen;
+  for (int n = 0; n < 3; ++n) {
+    auto frag = (*stored)->ScanFragment(&cluster, n, true);
+    ASSERT_TRUE(frag.ok());
+    for (const Tuple& t : *frag) seen.insert(t.at(0).AsInt());
+  }
+  EXPECT_EQ(seen, Ids(rows));
+}
+
+TEST(StoreResultTest, DeepCopiesRasterToDestination) {
+  Cluster cluster(2, SmallClusterOptions());
+  // A raster owned by node 1.
+  std::vector<uint16_t> px(128 * 128, 1234);
+  auto raster = array::MakeRaster(px, 128, 128, Box(0, 0, 1, 1),
+                                  cluster.node(1).lob_store(),
+                                  cluster.node(1).clock(), 8192, 1);
+  ASSERT_TRUE(raster.ok());
+  QueryCoordinator coord(&cluster);
+  coord.BeginQuery();
+  PerNode input(2);
+  input[0].push_back(Tuple({Value(*raster)}));
+  TableDef def;
+  def.name = "r";
+  def.schema = exec::Schema({{"data", ValueType::kRaster}});
+  auto stored = StoreResult(&coord, input, def);
+  ASSERT_TRUE(stored.ok());
+  // The stored raster's handle must be owned by its destination node and
+  // readable there.
+  auto frag0 = (*stored)->ScanFragment(&cluster, 0, true);
+  ASSERT_TRUE(frag0.ok());
+  ASSERT_EQ(frag0->size(), 1u);
+  const array::Raster& copy = *(*frag0)[0].at(0).AsRaster();
+  EXPECT_EQ(copy.handle.owner_node, 0u);
+  PullTileSource pull(&cluster, 0);
+  auto bytes = array::ReadFull(copy.handle, &pull);
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(pull.tiles_pulled(), 0);  // all tiles local after the copy
+}
+
+}  // namespace
+}  // namespace paradise::core

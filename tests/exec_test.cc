@@ -1,0 +1,298 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/rng.h"
+#include "exec/expr.h"
+#include "exec/operators.h"
+#include "exec/stream.h"
+#include "exec/tuple.h"
+#include "exec/value.h"
+
+namespace paradise::exec {
+namespace {
+
+using geom::Box;
+using geom::Circle;
+using geom::Point;
+using geom::Polygon;
+using geom::Polyline;
+
+ExecContext NullCtx() { return ExecContext{}; }
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_EQ(Value().type(), ValueType::kNull);
+  EXPECT_EQ(Value(int64_t{5}).type(), ValueType::kInt);
+  EXPECT_EQ(Value(2.5).type(), ValueType::kDouble);
+  EXPECT_EQ(Value(std::string("x")).type(), ValueType::kString);
+  EXPECT_EQ(Value(Date::FromYmd(1988, 4, 1)).type(), ValueType::kDate);
+  EXPECT_EQ(Value(Point{1, 2}).type(), ValueType::kPoint);
+  EXPECT_EQ(Value(Polygon({{0, 0}, {1, 0}, {0, 1}})).type(),
+            ValueType::kPolygon);
+}
+
+TEST(ValueTest, CompareAndHash) {
+  EXPECT_LT(Value(int64_t{1}).Compare(Value(int64_t{2})), 0);
+  EXPECT_EQ(Value(std::string("a")).Compare(Value(std::string("a"))), 0);
+  EXPECT_GT(Value(Date::FromYmd(1990, 1, 1))
+                .Compare(Value(Date::FromYmd(1988, 1, 1))),
+            0);
+  EXPECT_EQ(Value(int64_t{7}).Hash(), Value(int64_t{7}).Hash());
+  EXPECT_EQ(Value(Point{1, 2}).Hash(), Value(Point{1, 2}).Hash());
+  EXPECT_NE(Value(Point{1, 2}).Hash(), Value(Point{2, 1}).Hash());
+}
+
+TEST(ValueTest, SerializeRoundTripAllTypes) {
+  std::vector<Value> values = {
+      Value(),
+      Value(int64_t{-42}),
+      Value(3.25),
+      Value(std::string("paradise")),
+      Value(Date::FromYmd(1997, 5, 13)),
+      Value(Point{1.5, -2.5}),
+      Value(Box(0, 1, 2, 3)),
+      Value(Circle(Point{0, 0}, 7)),
+      Value(Polygon({{0, 0}, {4, 0}, {4, 4}, {0, 4}})),
+      Value(Polyline({{0, 0}, {1, 1}, {2, 0}})),
+  };
+  for (const Value& v : values) {
+    ByteBuffer buf;
+    ByteWriter w(&buf);
+    v.Serialize(&w);
+    ByteReader r(buf);
+    Value rt = Value::Deserialize(&r);
+    EXPECT_EQ(rt.type(), v.type());
+    EXPECT_TRUE(rt.Equals(v)) << v.ToString() << " vs " << rt.ToString();
+  }
+}
+
+TEST(ValueTest, MbrOfSpatialValues) {
+  EXPECT_EQ(Value(Point{3, 4}).Mbr(), Box(3, 4, 3, 4));
+  EXPECT_EQ(Value(Polygon({{0, 0}, {4, 0}, {2, 5}})).Mbr(), Box(0, 0, 4, 5));
+  EXPECT_EQ(Value(Circle(Point{0, 0}, 2)).Mbr(), Box(-2, -2, 2, 2));
+}
+
+TEST(ValueTest, SharedByReference) {
+  Value poly(Polygon({{0, 0}, {100, 0}, {0, 100}}));
+  Value copy = poly;  // shares
+  EXPECT_EQ(copy.AsPolygon().get(), poly.AsPolygon().get());
+  EXPECT_LT(copy.StorageBytes(/*deep=*/false), 32u);
+  EXPECT_GT(copy.StorageBytes(/*deep=*/true), 48u);
+}
+
+TEST(TupleTest, SerializeRoundTrip) {
+  Tuple t({Value(int64_t{1}), Value(std::string("two")), Value(Point{3, 4})});
+  ByteBuffer buf;
+  ByteWriter w(&buf);
+  t.Serialize(&w);
+  ByteReader r(buf);
+  Tuple rt = Tuple::Deserialize(&r);
+  ASSERT_EQ(rt.size(), 3u);
+  EXPECT_TRUE(rt.at(0).Equals(t.at(0)));
+  EXPECT_TRUE(rt.at(2).Equals(t.at(2)));
+}
+
+TEST(SchemaTest, Lookup) {
+  Schema s({{"id", ValueType::kString}, {"shape", ValueType::kPolygon}});
+  EXPECT_EQ(s.IndexOf("shape"), 1u);
+  EXPECT_TRUE(s.Has("id"));
+  EXPECT_FALSE(s.Has("nope"));
+  Schema joined = Schema::Join(s, s);
+  EXPECT_EQ(joined.num_columns(), 4u);
+  EXPECT_EQ(joined.column(2).name, "r.id");
+}
+
+TEST(ExprTest, ComparisonsAndLogic) {
+  ExecContext ctx = NullCtx();
+  Tuple t({Value(int64_t{5}), Value(2.5), Value(std::string("abc"))});
+  auto b = [&](ExprPtr e) {
+    auto r = EvalPredicate(e, t, ctx);
+    EXPECT_TRUE(r.ok());
+    return *r;
+  };
+  EXPECT_TRUE(b(Cmp(CompareOp::kEq, Col(0), Lit(Value(int64_t{5})))));
+  EXPECT_TRUE(b(Cmp(CompareOp::kLt, Col(1), Lit(Value(3.0)))));
+  EXPECT_FALSE(b(Cmp(CompareOp::kGt, Col(1), Lit(Value(3.0)))));
+  // Mixed int/double compares numerically.
+  EXPECT_TRUE(b(Cmp(CompareOp::kGt, Col(0), Lit(Value(4.5)))));
+  EXPECT_TRUE(b(And(Cmp(CompareOp::kEq, Col(0), Lit(Value(int64_t{5}))),
+                    Cmp(CompareOp::kEq, Col(2), Lit(Value(std::string("abc")))))));
+  EXPECT_TRUE(b(Or(Cmp(CompareOp::kEq, Col(0), Lit(Value(int64_t{9}))),
+                   Cmp(CompareOp::kLe, Col(1), Lit(Value(2.5))))));
+  EXPECT_TRUE(b(Not(Cmp(CompareOp::kEq, Col(0), Lit(Value(int64_t{9}))))));
+}
+
+TEST(ExprTest, SpatialOverlapsAndDistance) {
+  ExecContext ctx = NullCtx();
+  Polygon sq({{0, 0}, {10, 0}, {10, 10}, {0, 10}});
+  Tuple t({Value(sq), Value(Point{5, 5}), Value(Polyline({{-5, 5}, {15, 5}}))});
+  auto overlaps = Overlaps(Col(0), Col(2));
+  auto r = EvalPredicate(overlaps, t, ctx);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(*r);
+  auto contains = Overlaps(Col(0), Col(1));
+  r = EvalPredicate(contains, t, ctx);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(*r);
+  auto d = DistanceBetween(Col(1), Col(2))->Eval(t, ctx);
+  ASSERT_TRUE(d.ok());
+  EXPECT_DOUBLE_EQ(d->AsDouble(), 0.0);
+  auto within = WithinCircle(Col(0), Circle(Point{15, 5}, 6));
+  r = EvalPredicate(within, t, ctx);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(*r);
+  auto not_within = WithinCircle(Col(0), Circle(Point{15, 5}, 4));
+  r = EvalPredicate(not_within, t, ctx);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(*r);
+}
+
+TEST(ExprTest, AreaAndMakeBox) {
+  ExecContext ctx = NullCtx();
+  Tuple t({Value(Polygon({{0, 0}, {10, 0}, {10, 10}, {0, 10}})),
+           Value(Point{5, 5})});
+  auto area = AreaOf(Col(0))->Eval(t, ctx);
+  ASSERT_TRUE(area.ok());
+  EXPECT_DOUBLE_EQ(area->AsDouble(), 100.0);
+  auto box = MakeBoxAround(Col(1), 4.0)->Eval(t, ctx);
+  ASSERT_TRUE(box.ok());
+  EXPECT_EQ(box->AsBox(), Box(3, 3, 7, 7));
+}
+
+TEST(ExprTest, ErrorsPropagate) {
+  ExecContext ctx = NullCtx();
+  Tuple t({Value(int64_t{1})});
+  EXPECT_FALSE(Col(5)->Eval(t, ctx).ok());
+  EXPECT_FALSE(AreaOf(Col(0))->Eval(t, ctx).ok());
+}
+
+TupleVec MakeInts(std::vector<int64_t> v) {
+  TupleVec out;
+  for (int64_t x : v) out.push_back(Tuple({Value(x)}));
+  return out;
+}
+
+TEST(OperatorTest, FilterAndProject) {
+  ExecContext ctx = NullCtx();
+  TupleVec in = MakeInts({1, 2, 3, 4, 5, 6});
+  auto even =
+      Filter(in, Cmp(CompareOp::kEq, Col(0), Lit(Value(int64_t{4}))), ctx);
+  ASSERT_TRUE(even.ok());
+  EXPECT_EQ(even->size(), 1u);
+  auto proj = Project(in, {Col(0), Col(0)}, ctx);
+  ASSERT_TRUE(proj.ok());
+  EXPECT_EQ((*proj)[0].size(), 2u);
+}
+
+TEST(OperatorTest, SortStableMultiKey) {
+  ExecContext ctx = NullCtx();
+  TupleVec in;
+  in.push_back(Tuple({Value(int64_t{2}), Value(std::string("b"))}));
+  in.push_back(Tuple({Value(int64_t{1}), Value(std::string("z"))}));
+  in.push_back(Tuple({Value(int64_t{2}), Value(std::string("a"))}));
+  SortTuples(&in, {{0, true}, {1, false}}, ctx);
+  EXPECT_EQ(in[0].at(0).AsInt(), 1);
+  EXPECT_EQ(in[1].at(1).AsString(), "b");  // desc secondary
+  EXPECT_EQ(in[2].at(1).AsString(), "a");
+}
+
+TEST(OperatorTest, HashJoinMatchesNestedLoops) {
+  ExecContext ctx = NullCtx();
+  Rng rng(3);
+  TupleVec left, right;
+  for (int i = 0; i < 200; ++i) {
+    left.push_back(Tuple({Value(rng.NextInt(0, 30)), Value(int64_t{i})}));
+  }
+  for (int i = 0; i < 150; ++i) {
+    right.push_back(Tuple({Value(rng.NextInt(0, 30)), Value(int64_t{1000 + i})}));
+  }
+  auto hash = GraceHashJoin(left, 0, right, 0, ctx);
+  ASSERT_TRUE(hash.ok());
+  auto nl = NestedLoopsJoin(left, right,
+                            Cmp(CompareOp::kEq, Col(0), Col(2)), ctx);
+  ASSERT_TRUE(nl.ok());
+  EXPECT_EQ(hash->size(), nl->size());
+  auto key = [](const Tuple& t) {
+    return std::make_pair(t.at(1).AsInt(), t.at(3).AsInt());
+  };
+  std::set<std::pair<int64_t, int64_t>> a, b;
+  for (const Tuple& t : *hash) a.insert(key(t));
+  for (const Tuple& t : *nl) b.insert(key(t));
+  EXPECT_EQ(a, b);
+}
+
+TEST(OperatorTest, GraceHashJoinChargesSpillWhenOverBudget) {
+  sim::NodeClock clock;
+  ExecContext ctx;
+  ctx.clock = &clock;
+  TupleVec left, right;
+  for (int i = 0; i < 2000; ++i) {
+    left.push_back(Tuple({Value(int64_t{i}), Value(std::string(64, 'x'))}));
+    right.push_back(Tuple({Value(int64_t{i}), Value(std::string(64, 'y'))}));
+  }
+  HashJoinOptions opts;
+  opts.memory_budget = 1024;  // force the Grace spill path
+  auto r = GraceHashJoin(left, 0, right, 0, ctx, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 2000u);
+  sim::ResourceUsage u = clock.EndPhase();
+  EXPECT_GT(u.disk_bytes_written, 0);
+  EXPECT_GT(u.disk_bytes_read, 0);
+}
+
+TEST(StreamTest, PushPopFlowControl) {
+  TupleStream stream(4);
+  stream.AddWriter();
+  std::thread producer([&] {
+    for (int i = 0; i < 100; ++i) stream.Push(Tuple({Value(int64_t{i})}));
+    stream.CloseWriter();
+  });
+  std::vector<int64_t> got;
+  Tuple t;
+  while (stream.Pop(&t)) got.push_back(t.at(0).AsInt());
+  producer.join();
+  ASSERT_EQ(got.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(got[static_cast<size_t>(i)], i);
+}
+
+TEST(StreamTest, MultipleWriters) {
+  TupleStream stream(16);
+  constexpr int kWriters = 4;
+  for (int w = 0; w < kWriters; ++w) stream.AddWriter();
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&stream, w] {
+      for (int i = 0; i < 50; ++i) {
+        stream.Push(Tuple({Value(int64_t{w * 1000 + i})}));
+      }
+      stream.CloseWriter();
+    });
+  }
+  std::vector<Tuple> all = stream.DrainAll();
+  for (auto& th : writers) th.join();
+  EXPECT_EQ(all.size(), 200u);
+}
+
+TEST(StreamTest, SplitStreamRoutesAndReplicates) {
+  TupleStream s0(64), s1(64), s2(64);
+  {
+    SplitStream split({&s0, &s1, &s2},
+                      [](const Tuple& t, std::vector<uint32_t>* dests) {
+                        int64_t v = t.at(0).AsInt();
+                        if (v < 0) {  // replicate negatives everywhere
+                          dests->assign({0, 1, 2});
+                        } else {
+                          dests->push_back(static_cast<uint32_t>(v % 3));
+                        }
+                      });
+    for (int64_t i = 0; i < 30; ++i) split.Push(Tuple({Value(i)}));
+    split.Push(Tuple({Value(int64_t{-1})}));
+    split.Close();
+  }
+  EXPECT_EQ(s0.DrainAll().size(), 11u);  // 10 + replica
+  EXPECT_EQ(s1.DrainAll().size(), 11u);
+  EXPECT_EQ(s2.DrainAll().size(), 11u);
+}
+
+}  // namespace
+}  // namespace paradise::exec

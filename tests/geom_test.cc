@@ -1,0 +1,330 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "geom/algorithms.h"
+#include "geom/box.h"
+#include "geom/circle.h"
+#include "geom/point.h"
+#include "geom/polygon.h"
+#include "geom/polyline.h"
+
+namespace paradise::geom {
+namespace {
+
+Polygon Square(double x0, double y0, double side) {
+  return Polygon({Point{x0, y0}, Point{x0 + side, y0},
+                  Point{x0 + side, y0 + side}, Point{x0, y0 + side}});
+}
+
+Polygon RandomPolygon(Rng* rng, double cx, double cy, double radius, int n) {
+  std::vector<Point> ring;
+  for (int i = 0; i < n; ++i) {
+    double angle = 2 * M_PI * i / n;
+    double r = radius * (0.5 + 0.5 * rng->NextDouble());
+    ring.push_back(Point{cx + r * std::cos(angle), cy + r * std::sin(angle)});
+  }
+  return Polygon(std::move(ring));
+}
+
+TEST(BoxTest, BasicPredicates) {
+  Box a(0, 0, 10, 10);
+  Box b(5, 5, 15, 15);
+  Box c(11, 11, 12, 12);
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_TRUE(b.Intersects(a));
+  EXPECT_FALSE(a.Intersects(c));
+  EXPECT_TRUE(a.Contains(Point{5, 5}));
+  EXPECT_TRUE(a.Contains(Point{0, 0}));  // boundary inclusive
+  EXPECT_FALSE(a.Contains(Point{10.001, 5}));
+  EXPECT_TRUE(a.Contains(Box(1, 1, 9, 9)));
+  EXPECT_FALSE(a.Contains(b));
+}
+
+TEST(BoxTest, EmptyBoxBehaviour) {
+  Box e = Box::Empty();
+  EXPECT_TRUE(e.IsEmpty());
+  EXPECT_FALSE(e.Intersects(Box(0, 0, 1, 1)));
+  EXPECT_FALSE(Box(0, 0, 1, 1).Intersects(e));
+  EXPECT_EQ(e.Area(), 0.0);
+  Box a(0, 0, 1, 1);
+  a.ExpandToInclude(e);  // no-op
+  EXPECT_EQ(a, Box(0, 0, 1, 1));
+  e.ExpandToInclude(Point{3, 4});
+  EXPECT_FALSE(e.IsEmpty());
+  EXPECT_EQ(e.Area(), 0.0);  // degenerate point box
+}
+
+TEST(BoxTest, IntersectionAndUnion) {
+  Box a(0, 0, 10, 10);
+  Box b(5, 5, 15, 15);
+  EXPECT_EQ(a.Intersection(b), Box(5, 5, 10, 10));
+  EXPECT_EQ(a.Union(b), Box(0, 0, 15, 15));
+  EXPECT_TRUE(a.Intersection(Box(20, 20, 30, 30)).IsEmpty());
+}
+
+TEST(BoxTest, DistanceTo) {
+  Box a(0, 0, 10, 10);
+  EXPECT_EQ(a.DistanceTo(Point{5, 5}), 0.0);
+  EXPECT_DOUBLE_EQ(a.DistanceTo(Point{13, 14}), 5.0);  // 3-4-5
+  EXPECT_DOUBLE_EQ(a.DistanceTo(Point{-2, 5}), 2.0);
+}
+
+TEST(BoxTest, BoundaryDistanceIsInscribedCircleRadius) {
+  Box a(0, 0, 10, 10);
+  EXPECT_DOUBLE_EQ(a.BoundaryDistanceFrom(Point{5, 5}), 5.0);
+  EXPECT_DOUBLE_EQ(a.BoundaryDistanceFrom(Point{1, 5}), 1.0);
+  EXPECT_DOUBLE_EQ(a.BoundaryDistanceFrom(Point{5, 9}), 1.0);
+  // Outside: falls back to distance to the box.
+  EXPECT_DOUBLE_EQ(a.BoundaryDistanceFrom(Point{-3, 5}), 3.0);
+}
+
+TEST(BoxTest, MakeBox) {
+  Box b = Box::MakeBox(Point{5, 5}, 4);
+  EXPECT_EQ(b, Box(3, 3, 7, 7));
+}
+
+TEST(SegmentTest, Intersections) {
+  EXPECT_TRUE(SegmentsIntersect(Point{0, 0}, Point{10, 10}, Point{0, 10},
+                                Point{10, 0}));
+  EXPECT_FALSE(SegmentsIntersect(Point{0, 0}, Point{10, 0}, Point{0, 1},
+                                 Point{10, 1}));
+  // Shared endpoint.
+  EXPECT_TRUE(SegmentsIntersect(Point{0, 0}, Point{5, 5}, Point{5, 5},
+                                Point{10, 0}));
+  // Collinear overlapping.
+  EXPECT_TRUE(SegmentsIntersect(Point{0, 0}, Point{10, 0}, Point{5, 0},
+                                Point{15, 0}));
+  // Collinear disjoint.
+  EXPECT_FALSE(SegmentsIntersect(Point{0, 0}, Point{4, 0}, Point{5, 0},
+                                 Point{15, 0}));
+}
+
+TEST(SegmentTest, PointSegmentDistance) {
+  EXPECT_DOUBLE_EQ(PointSegmentDistance(Point{5, 5}, Point{0, 0}, Point{10, 0}),
+                   5.0);
+  // Beyond an endpoint.
+  EXPECT_DOUBLE_EQ(
+      PointSegmentDistance(Point{13, 4}, Point{0, 0}, Point{10, 0}), 5.0);
+  // Degenerate segment.
+  EXPECT_DOUBLE_EQ(PointSegmentDistance(Point{3, 4}, Point{0, 0}, Point{0, 0}),
+                   5.0);
+}
+
+TEST(SegmentTest, SegmentBoxIntersection) {
+  Box box(0, 0, 10, 10);
+  EXPECT_TRUE(SegmentIntersectsBox(Point{5, 5}, Point{20, 20}, box));
+  EXPECT_TRUE(SegmentIntersectsBox(Point{-5, 5}, Point{15, 5}, box));
+  EXPECT_FALSE(SegmentIntersectsBox(Point{-5, -5}, Point{-1, 20}, box));
+  // Diagonal passing outside the corner.
+  EXPECT_FALSE(SegmentIntersectsBox(Point{21, 0}, Point{0, 21}, box));
+  // The same diagonal close enough to cut the corner.
+  EXPECT_TRUE(SegmentIntersectsBox(Point{15, 0}, Point{0, 15}, box));
+}
+
+TEST(PolygonTest, AreaAndCentroid) {
+  Polygon sq = Square(0, 0, 10);
+  EXPECT_DOUBLE_EQ(sq.Area(), 100.0);
+  Point c = sq.Centroid();
+  EXPECT_NEAR(c.x, 5.0, 1e-9);
+  EXPECT_NEAR(c.y, 5.0, 1e-9);
+  // Orientation independence.
+  Polygon sq_cw({Point{0, 0}, Point{0, 10}, Point{10, 10}, Point{10, 0}});
+  EXPECT_DOUBLE_EQ(sq_cw.Area(), 100.0);
+}
+
+TEST(PolygonTest, ContainsPoint) {
+  Polygon sq = Square(0, 0, 10);
+  EXPECT_TRUE(sq.Contains(Point{5, 5}));
+  EXPECT_FALSE(sq.Contains(Point{15, 5}));
+  EXPECT_TRUE(sq.Contains(Point{0, 5}));   // boundary
+  EXPECT_TRUE(sq.Contains(Point{0, 0}));   // vertex
+  // Concave polygon (a "C" shape).
+  Polygon c({Point{0, 0}, Point{10, 0}, Point{10, 2}, Point{2, 2},
+             Point{2, 8}, Point{10, 8}, Point{10, 10}, Point{0, 10}});
+  EXPECT_TRUE(c.Contains(Point{1, 5}));
+  EXPECT_FALSE(c.Contains(Point{5, 5}));  // in the notch
+}
+
+TEST(PolygonTest, PolygonPolygonIntersection) {
+  Polygon a = Square(0, 0, 10);
+  Polygon b = Square(5, 5, 10);
+  Polygon c = Square(20, 20, 5);
+  Polygon inner = Square(2, 2, 2);
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersects(c));
+  // Full containment (no edge crossings).
+  EXPECT_TRUE(a.Intersects(inner));
+  EXPECT_TRUE(inner.Intersects(a));
+}
+
+TEST(PolygonTest, PolygonPolylineIntersection) {
+  Polygon a = Square(0, 0, 10);
+  Polyline crossing({Point{-5, 5}, Point{15, 5}});
+  Polyline outside({Point{20, 20}, Point{30, 30}});
+  Polyline inside({Point{2, 2}, Point{3, 3}});
+  EXPECT_TRUE(a.Intersects(crossing));
+  EXPECT_FALSE(a.Intersects(outside));
+  EXPECT_TRUE(a.Intersects(inside));  // wholly inside
+}
+
+TEST(PolygonTest, ClipToBox) {
+  Polygon sq = Square(0, 0, 10);
+  // Clip to the right half.
+  Polygon clipped = sq.ClipToBox(Box(5, -5, 20, 15));
+  EXPECT_DOUBLE_EQ(clipped.Area(), 50.0);
+  // Disjoint clip.
+  EXPECT_EQ(sq.ClipToBox(Box(20, 20, 30, 30)).num_points(), 0u);
+  // Fully containing clip returns the polygon unchanged.
+  Polygon same = sq.ClipToBox(Box(-5, -5, 15, 15));
+  EXPECT_DOUBLE_EQ(same.Area(), 100.0);
+}
+
+TEST(PolygonTest, ClipAreaNeverGrows) {
+  Rng rng(7);
+  for (int iter = 0; iter < 50; ++iter) {
+    Polygon p = RandomPolygon(&rng, rng.NextDouble(-50, 50),
+                              rng.NextDouble(-50, 50), 20, 12);
+    Box clip(rng.NextDouble(-60, 20), rng.NextDouble(-60, 20),
+             rng.NextDouble(20, 60), rng.NextDouble(20, 60));
+    Polygon clipped = p.ClipToBox(clip);
+    EXPECT_LE(clipped.Area(), p.Area() + 1e-6);
+    if (clipped.num_points() >= 3) {
+      // Every clipped vertex lies inside the clip box.
+      for (const Point& v : clipped.ring()) {
+        EXPECT_TRUE(clip.Inflate(1e-9).Contains(v));
+      }
+    }
+  }
+}
+
+TEST(PolygonTest, DistanceToPoint) {
+  Polygon sq = Square(0, 0, 10);
+  EXPECT_DOUBLE_EQ(sq.DistanceTo(Point{5, 5}), 0.0);  // inside
+  EXPECT_DOUBLE_EQ(sq.DistanceTo(Point{15, 5}), 5.0);
+  EXPECT_DOUBLE_EQ(sq.DistanceTo(Point{13, 14}), 5.0);
+}
+
+TEST(PolygonTest, SerializeRoundTrip) {
+  Rng rng(13);
+  Polygon p = RandomPolygon(&rng, 0, 0, 10, 17);
+  ByteBuffer buf;
+  ByteWriter w(&buf);
+  p.Serialize(&w);
+  ByteReader r(buf);
+  Polygon q = Polygon::Deserialize(&r);
+  EXPECT_EQ(p, q);
+}
+
+TEST(PolylineTest, LengthAndDistance) {
+  Polyline line({Point{0, 0}, Point{10, 0}, Point{10, 10}});
+  EXPECT_DOUBLE_EQ(line.Length(), 20.0);
+  EXPECT_DOUBLE_EQ(line.DistanceTo(Point{5, 3}), 3.0);
+  EXPECT_DOUBLE_EQ(line.DistanceTo(Point{14, 13}), 5.0);
+}
+
+TEST(PolylineTest, Intersections) {
+  Polyline a({Point{0, 0}, Point{10, 10}});
+  Polyline b({Point{0, 10}, Point{10, 0}});
+  Polyline c({Point{20, 20}, Point{30, 20}});
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersects(c));
+}
+
+TEST(PolylineTest, IntersectsBox) {
+  Polyline a({Point{-5, 5}, Point{15, 5}});
+  EXPECT_TRUE(a.IntersectsBox(Box(0, 0, 10, 10)));
+  EXPECT_FALSE(a.IntersectsBox(Box(0, 6, 10, 10)));
+}
+
+TEST(PolylineTest, SerializeRoundTrip) {
+  Polyline line({Point{0, 0}, Point{1.5, -2.25}, Point{3.75, 9}});
+  ByteBuffer buf;
+  ByteWriter w(&buf);
+  line.Serialize(&w);
+  ByteReader r(buf);
+  EXPECT_EQ(line, Polyline::Deserialize(&r));
+}
+
+TEST(SwissCheeseTest, AreaAndContains) {
+  Polygon outer = Square(0, 0, 10);
+  Polygon hole = Square(4, 4, 2);
+  SwissCheesePolygon sc(outer, {hole});
+  EXPECT_DOUBLE_EQ(sc.Area(), 96.0);
+  EXPECT_TRUE(sc.Contains(Point{1, 1}));
+  EXPECT_FALSE(sc.Contains(Point{5, 5}));   // in the hole
+  EXPECT_FALSE(sc.Contains(Point{15, 5}));  // outside
+}
+
+TEST(SwissCheeseTest, SerializeRoundTrip) {
+  SwissCheesePolygon sc(Square(0, 0, 10), {Square(1, 1, 2), Square(6, 6, 2)});
+  ByteBuffer buf;
+  ByteWriter w(&buf);
+  sc.Serialize(&w);
+  ByteReader r(buf);
+  SwissCheesePolygon rt = SwissCheesePolygon::Deserialize(&r);
+  EXPECT_DOUBLE_EQ(rt.Area(), sc.Area());
+  EXPECT_EQ(rt.holes().size(), 2u);
+}
+
+TEST(CircleTest, Basics) {
+  Circle c(Point{0, 0}, 5);
+  EXPECT_TRUE(c.Contains(Point{3, 4}));
+  EXPECT_FALSE(c.Contains(Point{4, 4}));
+  EXPECT_TRUE(c.IntersectsBox(Box(4, 0, 10, 1)));
+  EXPECT_FALSE(c.IntersectsBox(Box(4, 4, 10, 10)));
+  EXPECT_NEAR(c.DoubleArea().Area(), 2 * c.Area(), 1e-9);
+}
+
+/// Property sweep: polygon-polygon intersection is symmetric, and
+/// containment of either centroid implies intersection.
+class PolygonPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PolygonPropertyTest, IntersectionSymmetricAndConsistent) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 40; ++iter) {
+    Polygon a = RandomPolygon(&rng, rng.NextDouble(-20, 20),
+                              rng.NextDouble(-20, 20),
+                              rng.NextDouble(2, 15), 3 + iter % 12);
+    Polygon b = RandomPolygon(&rng, rng.NextDouble(-20, 20),
+                              rng.NextDouble(-20, 20),
+                              rng.NextDouble(2, 15), 3 + (iter * 7) % 12);
+    EXPECT_EQ(a.Intersects(b), b.Intersects(a));
+    if (a.Contains(b.ring()[0]) || b.Contains(a.ring()[0])) {
+      EXPECT_TRUE(a.Intersects(b));
+    }
+    if (!a.Mbr().Intersects(b.Mbr())) {
+      EXPECT_FALSE(a.Intersects(b));
+    }
+  }
+}
+
+TEST_P(PolygonPropertyTest, DistanceZeroIffContains) {
+  Rng rng(GetParam() * 31 + 5);
+  for (int iter = 0; iter < 60; ++iter) {
+    Polygon a = RandomPolygon(&rng, 0, 0, 10, 3 + iter % 15);
+    Point p{rng.NextDouble(-15, 15), rng.NextDouble(-15, 15)};
+    if (a.Contains(p)) {
+      EXPECT_EQ(a.DistanceTo(p), 0.0);
+    } else {
+      EXPECT_GT(a.DistanceTo(p), 0.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PolygonPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+/// Property: clipping to the MBR is the identity (area-wise).
+TEST(PolygonTest, ClipToOwnMbrKeepsArea) {
+  Rng rng(99);
+  for (int iter = 0; iter < 30; ++iter) {
+    Polygon p = RandomPolygon(&rng, 0, 0, 10, 5 + iter % 10);
+    Polygon clipped = p.ClipToBox(p.Mbr());
+    EXPECT_NEAR(clipped.Area(), p.Area(), 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace paradise::geom

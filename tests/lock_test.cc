@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "storage/lock_manager.h"
+
+namespace paradise::storage {
+namespace {
+
+TEST(LockModeTest, CompatibilityMatrix) {
+  using enum LockMode;
+  EXPECT_TRUE(LockModesCompatible(kIS, kIX));
+  EXPECT_TRUE(LockModesCompatible(kIS, kS));
+  EXPECT_TRUE(LockModesCompatible(kIS, kSIX));
+  EXPECT_FALSE(LockModesCompatible(kIS, kX));
+  EXPECT_TRUE(LockModesCompatible(kIX, kIX));
+  EXPECT_FALSE(LockModesCompatible(kIX, kS));
+  EXPECT_TRUE(LockModesCompatible(kS, kS));
+  EXPECT_FALSE(LockModesCompatible(kS, kSIX));
+  EXPECT_FALSE(LockModesCompatible(kSIX, kSIX));
+  EXPECT_FALSE(LockModesCompatible(kX, kIS));
+}
+
+TEST(LockModeTest, CoversAndJoin) {
+  using enum LockMode;
+  EXPECT_TRUE(LockModeCovers(kX, kS));
+  EXPECT_TRUE(LockModeCovers(kSIX, kIX));
+  EXPECT_TRUE(LockModeCovers(kS, kIS));
+  EXPECT_FALSE(LockModeCovers(kS, kIX));
+  EXPECT_EQ(LockModeJoin(kS, kIX), kSIX);
+  EXPECT_EQ(LockModeJoin(kIS, kX), kX);
+  EXPECT_EQ(LockModeJoin(kS, kS), kS);
+}
+
+TEST(LockManagerTest, SharedLocksCoexist) {
+  LockManager lm;
+  LockName file = LockName::File(1);
+  ASSERT_TRUE(lm.Acquire(1, file, LockMode::kS).ok());
+  ASSERT_TRUE(lm.Acquire(2, file, LockMode::kS).ok());
+  EXPECT_TRUE(lm.Holds(1, file, LockMode::kS));
+  EXPECT_TRUE(lm.Holds(2, file, LockMode::kS));
+  lm.ReleaseAll(1);
+  lm.ReleaseAll(2);
+}
+
+TEST(LockManagerTest, ReacquireIsIdempotent) {
+  LockManager lm;
+  LockName file = LockName::File(1);
+  ASSERT_TRUE(lm.Acquire(1, file, LockMode::kX).ok());
+  ASSERT_TRUE(lm.Acquire(1, file, LockMode::kX).ok());
+  ASSERT_TRUE(lm.Acquire(1, file, LockMode::kS).ok());  // covered by X
+  EXPECT_EQ(lm.HeldCount(1), 1u);
+  lm.ReleaseAll(1);
+}
+
+TEST(LockManagerTest, UpgradeSToX) {
+  LockManager lm;
+  LockName file = LockName::File(1);
+  ASSERT_TRUE(lm.Acquire(1, file, LockMode::kS).ok());
+  ASSERT_TRUE(lm.Acquire(1, file, LockMode::kX).ok());
+  EXPECT_TRUE(lm.Holds(1, file, LockMode::kX));
+  lm.ReleaseAll(1);
+}
+
+TEST(LockManagerTest, ConflictBlocksUntilRelease) {
+  LockManager lm;
+  LockName file = LockName::File(1);
+  ASSERT_TRUE(lm.Acquire(1, file, LockMode::kX).ok());
+  std::atomic<bool> acquired{false};
+  std::thread waiter([&] {
+    ASSERT_TRUE(lm.Acquire(2, file, LockMode::kS).ok());
+    acquired = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(acquired.load());
+  lm.ReleaseAll(1);
+  waiter.join();
+  EXPECT_TRUE(acquired.load());
+  lm.ReleaseAll(2);
+}
+
+TEST(LockManagerTest, DeadlockDetected) {
+  LockManager lm;
+  LockName a = LockName::File(1);
+  LockName b = LockName::File(2);
+  ASSERT_TRUE(lm.Acquire(1, a, LockMode::kX).ok());
+  ASSERT_TRUE(lm.Acquire(2, b, LockMode::kX).ok());
+  std::atomic<bool> t1_done{false};
+  Status t1_status;
+  std::thread t1([&] {
+    t1_status = lm.Acquire(1, b, LockMode::kX);  // waits on txn 2
+    t1_done = true;
+    if (t1_status.ok()) lm.ReleaseAll(1);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  // Txn 2 requesting `a` would close the cycle: must be aborted.
+  Status s = lm.Acquire(2, a, LockMode::kX);
+  EXPECT_EQ(s.code(), StatusCode::kAborted);
+  lm.ReleaseAll(2);  // victim releases; txn 1 proceeds
+  t1.join();
+  EXPECT_TRUE(t1_status.ok());
+  lm.ReleaseAll(1);
+  EXPECT_GE(lm.stats().deadlocks, 1);
+}
+
+TEST(LockManagerTest, HierarchyIntentThenRecord) {
+  LockManager lm;
+  LockName file = LockName::File(7);
+  Oid oid{3, 1};
+  LockName rec = LockName::Record(7, oid);
+  ASSERT_TRUE(lm.Acquire(1, file, LockMode::kIX).ok());
+  ASSERT_TRUE(lm.Acquire(1, rec, LockMode::kX).ok());
+  // A second txn can IS the file but not S the same record.
+  ASSERT_TRUE(lm.Acquire(2, file, LockMode::kIS).ok());
+  std::atomic<bool> got{false};
+  std::thread t([&] {
+    ASSERT_TRUE(lm.Acquire(2, rec, LockMode::kS).ok());
+    got = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(got.load());
+  lm.ReleaseAll(1);
+  t.join();
+  lm.ReleaseAll(2);
+}
+
+TEST(LockManagerTest, EscalationToFileLock) {
+  LockManager lm(/*escalation_threshold=*/8);
+  ASSERT_TRUE(lm.Acquire(1, LockName::File(5), LockMode::kIS).ok());
+  for (uint16_t i = 0; i < 20; ++i) {
+    Oid oid{0, i};
+    ASSERT_TRUE(lm.Acquire(1, LockName::Record(5, oid), LockMode::kS).ok());
+  }
+  // Past the threshold the txn holds a file-level S covering everything.
+  EXPECT_TRUE(lm.Holds(1, LockName::File(5), LockMode::kS));
+  EXPECT_GE(lm.stats().escalations, 1);
+  // Record locks were dropped as subsumed.
+  EXPECT_LT(lm.HeldCount(1), 20u);
+  lm.ReleaseAll(1);
+}
+
+}  // namespace
+}  // namespace paradise::storage

@@ -1,0 +1,230 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/query_builder.h"
+
+namespace paradise::core {
+namespace {
+
+using catalog::IndexDef;
+using catalog::PartitioningKind;
+using catalog::TableDef;
+using exec::Tuple;
+using exec::TupleVec;
+using exec::Value;
+using exec::ValueType;
+using geom::Box;
+using geom::Point;
+using geom::Polygon;
+
+class QueryBuilderTest : public ::testing::Test {
+ protected:
+  QueryBuilderTest() : cluster_(4, SmallOptions()) {
+    Rng rng(11);
+    TupleVec rows;
+    for (int64_t i = 0; i < 5000; ++i) {
+      double x = rng.NextDouble(-90, 90);
+      double y = rng.NextDouble(-90, 90);
+      Polygon square({{x, y}, {x + 4, y}, {x + 4, y + 4}, {x, y + 4}});
+      rows.push_back(Tuple({Value("f" + std::to_string(i)),
+                            Value(i % 8),  // category
+                            Value(std::move(square))}));
+    }
+    TableDef def;
+    def.name = "features";
+    def.schema = exec::Schema({{"id", ValueType::kString},
+                               {"type", ValueType::kInt},
+                               {"shape", ValueType::kPolygon}});
+    def.partitioning = PartitioningKind::kSpatial;
+    def.partition_column = 2;
+    def.universe = Box(-100, -100, 100, 100);
+    def.indexes = {IndexDef{"features_id", 0, false},
+                   IndexDef{"features_shape", 2, true}};
+    auto table = ParallelTable::Load(&cluster_, def, rows, 16);
+    EXPECT_TRUE(table.ok());
+    table_ = std::move(*table);
+
+    // A second, small table of probe sites for join tests.
+    TupleVec sites;
+    for (int64_t i = 0; i < 6; ++i) {
+      double x = -60.0 + 20 * static_cast<double>(i);
+      Polygon square({{x, 0}, {x + 10, 0}, {x + 10, 10}, {x, 10}});
+      sites.push_back(
+          Tuple({Value("site" + std::to_string(i)), Value(std::move(square))}));
+    }
+    TableDef sdef;
+    sdef.name = "sites";
+    sdef.schema = exec::Schema(
+        {{"name", ValueType::kString}, {"shape", ValueType::kPolygon}});
+    sdef.partitioning = PartitioningKind::kRoundRobin;
+    auto stable = ParallelTable::Load(&cluster_, sdef, sites);
+    EXPECT_TRUE(stable.ok());
+    sites_ = std::move(*stable);
+  }
+
+  static Cluster::Options SmallOptions() {
+    Cluster::Options o;
+    o.buffer_pool_frames = 1024;
+    return o;
+  }
+
+  Cluster cluster_;
+  std::unique_ptr<ParallelTable> table_;
+  std::unique_ptr<ParallelTable> sites_;
+};
+
+TEST_F(QueryBuilderTest, FullScanReturnsEverything) {
+  QueryCoordinator coord(&cluster_);
+  auto rows = Query::On(table_.get()).Run(&coord);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ(rows->size(), 5000u);
+}
+
+TEST_F(QueryBuilderTest, StringEqualityUsesBTree) {
+  Query q = Query::On(table_.get());
+  std::string plan = std::move(q).WhereStringEquals(0, "f123").Explain();
+  EXPECT_NE(plan.find("B+-tree probe on column 0"), std::string::npos) << plan;
+
+  QueryCoordinator coord(&cluster_);
+  auto rows =
+      Query::On(table_.get()).WhereStringEquals(0, "f123").Run(&coord);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0].at(0).AsString(), "f123");
+}
+
+TEST_F(QueryBuilderTest, SpatialPredicateUsesRTree) {
+  Polygon region({{-10, -10}, {10, -10}, {10, 10}, {-10, 10}});
+  std::string plan =
+      std::move(Query::On(table_.get()).WhereOverlaps(2, region)).Explain();
+  EXPECT_NE(plan.find("R*-tree probe on column 2"), std::string::npos) << plan;
+
+  QueryCoordinator coord(&cluster_);
+  auto rows = Query::On(table_.get()).WhereOverlaps(2, region).Run(&coord);
+  ASSERT_TRUE(rows.ok());
+  // Verify against a brute-force count on a full scan.
+  QueryCoordinator coord2(&cluster_);
+  auto all = Query::On(table_.get()).Run(&coord2);
+  ASSERT_TRUE(all.ok());
+  size_t expected = 0;
+  for (const Tuple& t : *all) {
+    if (t.at(2).AsPolygon()->Intersects(region)) ++expected;
+  }
+  EXPECT_EQ(rows->size(), expected);
+}
+
+TEST_F(QueryBuilderTest, ResidualPredicatesApplyAfterIndex) {
+  Polygon region({{-50, -50}, {50, -50}, {50, 50}, {-50, 50}});
+  QueryCoordinator coord(&cluster_);
+  auto rows = Query::On(table_.get())
+                  .WhereOverlaps(2, region)
+                  .WhereIntEquals(1, 3)
+                  .Run(&coord);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_FALSE(rows->empty());
+  for (const Tuple& t : *rows) {
+    EXPECT_EQ(t.at(1).AsInt(), 3);
+    EXPECT_TRUE(t.at(2).AsPolygon()->Intersects(region));
+  }
+}
+
+TEST_F(QueryBuilderTest, UnindexedPredicateFallsBackToScan) {
+  std::string plan =
+      std::move(Query::On(table_.get()).WhereIntEquals(1, 3)).Explain();
+  EXPECT_NE(plan.find("sequential scan"), std::string::npos) << plan;
+  QueryCoordinator coord(&cluster_);
+  auto rows = Query::On(table_.get()).WhereIntEquals(1, 3).Run(&coord);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 625u);  // 5000 / 8 categories
+}
+
+TEST_F(QueryBuilderTest, ProjectionAndOrdering) {
+  QueryCoordinator coord(&cluster_);
+  auto rows = Query::On(table_.get())
+                  .WhereIntEquals(1, 0)
+                  .Select({exec::Col(0), exec::AreaOf(exec::Col(2))})
+                  .OrderBy(0)
+                  .Run(&coord);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 625u);
+  for (size_t i = 1; i < rows->size(); ++i) {
+    EXPECT_LE((*rows)[i - 1].at(0).AsString(), (*rows)[i].at(0).AsString());
+  }
+  EXPECT_DOUBLE_EQ((*rows)[0].at(1).AsDouble(), 16.0);  // 4x4 squares
+}
+
+TEST_F(QueryBuilderTest, GroupByAggregates) {
+  QueryCoordinator coord(&cluster_);
+  auto rows = Query::On(table_.get())
+                  .GroupBy({1}, {exec::MakeCount(),
+                                 exec::MakeSum(exec::AreaOf(exec::Col(2)))})
+                  .Run(&coord);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 8u);
+  for (const Tuple& t : *rows) {
+    EXPECT_EQ(t.at(1).AsInt(), 625);                 // count per category
+    EXPECT_NEAR(t.at(2).AsDouble(), 625 * 16.0, 1e-6);  // total area
+  }
+}
+
+TEST_F(QueryBuilderTest, SmallOuterJoinChoosesIndexNL) {
+  std::string plan = std::move(Query::On(sites_.get())
+                                   .SpatialJoinWith(table_.get(), 1, 2))
+                         .Explain();
+  EXPECT_NE(plan.find("indexed nested loops"), std::string::npos) << plan;
+}
+
+TEST_F(QueryBuilderTest, LargeOuterJoinChoosesPbsm) {
+  std::string plan = std::move(Query::On(table_.get())
+                                   .SpatialJoinWith(table_.get(), 2, 2))
+                         .Explain();
+  EXPECT_NE(plan.find("PBSM"), std::string::npos) << plan;
+}
+
+TEST_F(QueryBuilderTest, JoinResultsMatchBruteForceEitherAlgorithm) {
+  // Run the same logical join with both physical algorithms (by flipping
+  // outer/inner) and check both against brute force.
+  QueryCoordinator coord(&cluster_);
+  auto via_index = Query::On(sites_.get())
+                       .SpatialJoinWith(table_.get(), 1, 2)
+                       .Run(&coord);
+  ASSERT_TRUE(via_index.ok()) << via_index.status().ToString();
+
+  QueryCoordinator coord2(&cluster_);
+  auto all_sites = Query::On(sites_.get()).Run(&coord2);
+  QueryCoordinator coord3(&cluster_);
+  auto all_features = Query::On(table_.get()).Run(&coord3);
+  ASSERT_TRUE(all_sites.ok() && all_features.ok());
+  std::set<std::pair<std::string, std::string>> expected;
+  for (const Tuple& s : *all_sites) {
+    for (const Tuple& f : *all_features) {
+      if (s.at(1).AsPolygon()->Intersects(*f.at(2).AsPolygon())) {
+        expected.emplace(s.at(0).AsString(), f.at(0).AsString());
+      }
+    }
+  }
+  std::set<std::pair<std::string, std::string>> got;
+  for (const Tuple& t : *via_index) {
+    EXPECT_TRUE(
+        got.emplace(t.at(0).AsString(), t.at(2).AsString()).second)
+        << "duplicate";
+  }
+  EXPECT_EQ(got, expected);
+}
+
+TEST_F(QueryBuilderTest, ExplainMentionsAllStages) {
+  Polygon region({{-10, -10}, {10, -10}, {10, 10}, {-10, 10}});
+  std::string plan = std::move(Query::On(table_.get())
+                                   .WhereOverlaps(2, region)
+                                   .WhereIntEquals(1, 2)
+                                   .Select({exec::Col(0)})
+                                   .OrderBy(0))
+                         .Explain();
+  EXPECT_NE(plan.find("R*-tree"), std::string::npos);
+  EXPECT_NE(plan.find("residual"), std::string::npos);
+  EXPECT_NE(plan.find("project"), std::string::npos);
+  EXPECT_NE(plan.find("sort"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace paradise::core

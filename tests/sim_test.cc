@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "sim/cost_model.h"
+#include "sim/node_clock.h"
+
+namespace paradise::sim {
+namespace {
+
+TEST(CostModelTest, ComponentArithmetic) {
+  CostModel model;
+  ResourceUsage u;
+  u.disk_seeks = 10;
+  u.disk_bytes_read = 8'000'000;
+  EXPECT_NEAR(model.Seconds(u), 10 * model.disk_seek_seconds + 1.0, 1e-9);
+
+  ResourceUsage net;
+  net.net_messages = 100;
+  net.net_bytes = 12'500'000;
+  EXPECT_NEAR(model.Seconds(net),
+              100 * model.net_message_latency_seconds + 1.0, 1e-9);
+
+  ResourceUsage cpu;
+  cpu.cpu_ops = model.cpu_ops_per_second;
+  EXPECT_NEAR(model.Seconds(cpu), 1.0, 1e-9);
+
+  // Components are additive.
+  ResourceUsage all = u;
+  all.Add(net);
+  all.Add(cpu);
+  EXPECT_NEAR(model.Seconds(all),
+              model.Seconds(u) + model.Seconds(net) + model.Seconds(cpu),
+              1e-9);
+}
+
+TEST(CostModelTest, EmptyUsageIsFree) {
+  EXPECT_EQ(CostModel().Seconds(ResourceUsage{}), 0.0);
+}
+
+TEST(CostModelTest, CalibrationIsNineteenNinetySeven) {
+  // Guard rails: if someone "modernizes" these constants the reproduced
+  // tables stop resembling the paper's.
+  CostModel model;
+  EXPECT_GT(model.disk_seek_seconds, 0.005);   // not an SSD
+  EXPECT_LT(model.disk_bytes_per_second, 5e7); // not NVMe
+  EXPECT_LT(model.net_bytes_per_second, 1e8);  // 100 Mbit, not 100 GbE
+}
+
+TEST(NodeClockTest, PhaseAccumulation) {
+  NodeClock clock;
+  clock.ChargeDiskRead(1000, 1);
+  clock.ChargeNet(2, 500);
+  clock.ChargeCpu(123);
+  ResourceUsage phase = clock.EndPhase();
+  EXPECT_EQ(phase.disk_bytes_read, 1000);
+  EXPECT_EQ(phase.disk_seeks, 1);
+  EXPECT_EQ(phase.net_messages, 2);
+  EXPECT_EQ(phase.net_bytes, 500);
+  EXPECT_DOUBLE_EQ(phase.cpu_ops, 123);
+  // Phase usage resets; total keeps accumulating.
+  EXPECT_EQ(clock.phase_usage().disk_bytes_read, 0);
+  clock.ChargeDiskWrite(700, 2);
+  clock.EndPhase();
+  ResourceUsage total = clock.total_usage();
+  EXPECT_EQ(total.disk_bytes_read, 1000);
+  EXPECT_EQ(total.disk_bytes_written, 700);
+  EXPECT_EQ(total.disk_seeks, 3);
+  clock.Reset();
+  EXPECT_EQ(clock.total_usage().disk_seeks, 0);
+}
+
+TEST(NodeClockTest, ThreadSafeCharging) {
+  NodeClock clock;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&clock] {
+      for (int i = 0; i < 10000; ++i) clock.ChargeCpu(1);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_DOUBLE_EQ(clock.phase_usage().cpu_ops, 40000);
+}
+
+}  // namespace
+}  // namespace paradise::sim

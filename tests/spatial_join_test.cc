@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "exec/spatial_join.h"
+
+namespace paradise::exec {
+namespace {
+
+using geom::Box;
+using geom::Point;
+using geom::Polygon;
+using geom::Polyline;
+
+ExecContext NullCtx() { return ExecContext{}; }
+
+Polygon RandomPolygon(Rng* rng, double extent, double radius, int n) {
+  double cx = rng->NextDouble(-extent, extent);
+  double cy = rng->NextDouble(-extent, extent);
+  std::vector<Point> ring;
+  for (int i = 0; i < n; ++i) {
+    double angle = 2 * M_PI * i / n;
+    double r = radius * (0.5 + 0.5 * rng->NextDouble());
+    ring.push_back(Point{cx + r * std::cos(angle), cy + r * std::sin(angle)});
+  }
+  return Polygon(std::move(ring));
+}
+
+Polyline RandomPolyline(Rng* rng, double extent, double step, int n) {
+  Point cur{rng->NextDouble(-extent, extent), rng->NextDouble(-extent, extent)};
+  std::vector<Point> pts;
+  double heading = rng->NextDouble(0, 2 * M_PI);
+  for (int i = 0; i < n; ++i) {
+    pts.push_back(cur);
+    heading += rng->NextDouble(-0.5, 0.5);
+    cur.x += step * std::cos(heading);
+    cur.y += step * std::sin(heading);
+  }
+  return Polyline(std::move(pts));
+}
+
+TupleVec PolygonTuples(Rng* rng, int n, double extent, double radius) {
+  TupleVec out;
+  for (int i = 0; i < n; ++i) {
+    out.push_back(Tuple(
+        {Value(int64_t{i}), Value(RandomPolygon(rng, extent, radius, 8))}));
+  }
+  return out;
+}
+
+TupleVec PolylineTuples(Rng* rng, int n, double extent) {
+  TupleVec out;
+  for (int i = 0; i < n; ++i) {
+    out.push_back(Tuple({Value(int64_t{i + 100000}),
+                         Value(RandomPolyline(rng, extent, 2.0, 6))}));
+  }
+  return out;
+}
+
+std::set<std::pair<int64_t, int64_t>> JoinKeys(const TupleVec& joined,
+                                               size_t lid, size_t rid) {
+  std::set<std::pair<int64_t, int64_t>> keys;
+  for (const Tuple& t : joined) {
+    auto inserted =
+        keys.emplace(t.at(lid).AsInt(), t.at(rid).AsInt());
+    EXPECT_TRUE(inserted.second) << "duplicate join result";
+  }
+  return keys;
+}
+
+class PbsmPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(PbsmPropertyTest, MatchesNestedLoopsWithNoDuplicates) {
+  auto [seed, partitions] = GetParam();
+  Rng rng(static_cast<uint64_t>(seed));
+  ExecContext ctx = NullCtx();
+  TupleVec left = PolygonTuples(&rng, 150, 40, 5);
+  TupleVec right = PolylineTuples(&rng, 120, 40);
+
+  PbsmOptions opts;
+  opts.num_partitions = static_cast<size_t>(partitions);
+  auto pbsm = PbsmSpatialJoin(left, 1, right, 1, ctx, opts);
+  ASSERT_TRUE(pbsm.ok());
+
+  auto nl = NestedLoopsJoin(left, right, Overlaps(Col(1), Col(3)), ctx);
+  ASSERT_TRUE(nl.ok());
+
+  EXPECT_EQ(JoinKeys(*pbsm, 0, 2), JoinKeys(*nl, 0, 2));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndPartitions, PbsmPropertyTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4),
+                       ::testing::Values(1, 4, 32, 111)));
+
+TEST(PbsmTest, EmptyInputs) {
+  ExecContext ctx = NullCtx();
+  Rng rng(1);
+  TupleVec some = PolygonTuples(&rng, 10, 10, 2);
+  auto r1 = PbsmSpatialJoin({}, 1, some, 1, ctx);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_TRUE(r1->empty());
+  auto r2 = PbsmSpatialJoin(some, 1, {}, 1, ctx);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(r2->empty());
+}
+
+TEST(PbsmTest, SkewedDataStillCorrect) {
+  // Everything piled into one corner: stresses replication + dedup.
+  Rng rng(9);
+  ExecContext ctx = NullCtx();
+  TupleVec left, right;
+  for (int i = 0; i < 80; ++i) {
+    left.push_back(Tuple({Value(int64_t{i}),
+                          Value(RandomPolygon(&rng, 2, 1.5, 6))}));
+    right.push_back(Tuple({Value(int64_t{i + 100000}),
+                           Value(RandomPolygon(&rng, 2, 1.5, 6))}));
+  }
+  PbsmOptions opts;
+  opts.num_partitions = 16;
+  auto pbsm = PbsmSpatialJoin(left, 1, right, 1, ctx, opts);
+  ASSERT_TRUE(pbsm.ok());
+  auto nl = NestedLoopsJoin(left, right, Overlaps(Col(1), Col(3)), ctx);
+  ASSERT_TRUE(nl.ok());
+  EXPECT_EQ(JoinKeys(*pbsm, 0, 2), JoinKeys(*nl, 0, 2));
+}
+
+TEST(IndexSpatialJoinTest, MatchesNestedLoops) {
+  Rng rng(21);
+  ExecContext ctx = NullCtx();
+  TupleVec outer = PolygonTuples(&rng, 60, 30, 4);
+  TupleVec inner = PolylineTuples(&rng, 90, 30);
+  auto tree = BuildRTreeOnColumn(inner, 1, ctx);
+  auto idx = IndexSpatialJoin(outer, 1, inner, 1, *tree, ctx);
+  ASSERT_TRUE(idx.ok());
+  auto nl = NestedLoopsJoin(outer, inner, Overlaps(Col(1), Col(3)), ctx);
+  ASSERT_TRUE(nl.ok());
+  EXPECT_EQ(JoinKeys(*idx, 0, 2), JoinKeys(*nl, 0, 2));
+}
+
+class ExpandingCircleTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExpandingCircleTest, MatchesBruteForce) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 7 + 1);
+  ExecContext ctx = NullCtx();
+  TupleVec targets = PolylineTuples(&rng, 80, 200);
+  auto tree = BuildRTreeOnColumn(targets, 1, ctx);
+  double universe_area = 160.0 * 160.0;
+  for (int q = 0; q < 25; ++q) {
+    Point p{rng.NextDouble(-80, 80), rng.NextDouble(-80, 80)};
+    auto match = ExpandingCircleClosest(p, targets, 1, *tree, universe_area,
+                                        ctx);
+    ASSERT_TRUE(match.ok());
+    ASSERT_TRUE(match->found);
+    double best = 1e300;
+    size_t best_row = 0;
+    for (size_t i = 0; i < targets.size(); ++i) {
+      double d = targets[i].at(1).AsPolyline()->DistanceTo(p);
+      if (d < best) {
+        best = d;
+        best_row = i;
+      }
+    }
+    EXPECT_NEAR(match->distance, best, 1e-9);
+    EXPECT_EQ(match->row, best_row);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExpandingCircleTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(ExpandingCircleTest, EmptyTargets) {
+  ExecContext ctx = NullCtx();
+  index::RStarTree tree;
+  auto match = ExpandingCircleClosest(Point{0, 0}, {}, 1, tree, 100.0, ctx);
+  ASSERT_TRUE(match.ok());
+  EXPECT_FALSE(match->found);
+}
+
+TEST(ExpandingCircleTest, FarAwayPointFallsBackToScan) {
+  // The point is way outside the data's universe: the circle must expand
+  // past the bound and the scan fallback must still answer correctly.
+  Rng rng(3);
+  ExecContext ctx = NullCtx();
+  TupleVec targets = PolylineTuples(&rng, 5, 10);
+  auto tree = BuildRTreeOnColumn(targets, 1, ctx);
+  Point p{5000, 5000};
+  auto match = ExpandingCircleClosest(p, targets, 1, *tree, 100.0, ctx);
+  ASSERT_TRUE(match.ok());
+  ASSERT_TRUE(match->found);
+  double best = 1e300;
+  for (const Tuple& t : targets) {
+    best = std::min(best, t.at(1).AsPolyline()->DistanceTo(p));
+  }
+  EXPECT_NEAR(match->distance, best, 1e-9);
+}
+
+TEST(ExpandingCircleTest, ProbeCountGrowsWithDistance) {
+  Rng rng(4);
+  ExecContext ctx = NullCtx();
+  TupleVec targets;
+  // One cluster of lines near the origin.
+  for (int i = 0; i < 50; ++i) {
+    double x = rng.NextDouble(-1, 1), y = rng.NextDouble(-1, 1);
+    targets.push_back(Tuple({Value(int64_t{i}),
+                             Value(Polyline({{x, y}, {x + 0.1, y + 0.1}}))}));
+  }
+  auto tree = BuildRTreeOnColumn(targets, 1, ctx);
+  auto near = ExpandingCircleClosest(Point{0, 0}, targets, 1, *tree, 1e6, ctx);
+  auto far = ExpandingCircleClosest(Point{400, 400}, targets, 1, *tree, 1e6,
+                                    ctx);
+  ASSERT_TRUE(near.ok() && far.ok());
+  EXPECT_LT(near->probes, far->probes);
+}
+
+}  // namespace
+}  // namespace paradise::exec

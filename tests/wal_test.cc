@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include "storage/buffer_pool.h"
+#include "storage/heap_file.h"
+#include "storage/recovery.h"
+#include "storage/transaction.h"
+#include "storage/wal.h"
+
+namespace paradise::storage {
+namespace {
+
+ByteBuffer Rec(const std::string& s) { return ByteBuffer(s.begin(), s.end()); }
+
+std::string Str(const ByteBuffer& b) { return std::string(b.begin(), b.end()); }
+
+/// A node's durable state: volume + log survive; buffer pool does not.
+class WalTest : public ::testing::Test {
+ protected:
+  WalTest()
+      : vol_(0, nullptr),
+        pool_(64),
+        log_(nullptr),
+        txns_(&log_),
+        file_(1, &pool_, 0, &log_) {
+    pool_.AttachVolume(&vol_);
+    txns_.RegisterFile(&file_);
+  }
+
+  void Crash() {
+    pool_.DiscardAll();
+    log_.CrashTruncate();
+  }
+
+  Status Recover() {
+    RecoveryManager recovery(&txns_);
+    return recovery.Recover();
+  }
+
+  DiskVolume vol_;
+  BufferPool pool_;
+  LogManager log_;
+  TransactionManager txns_;
+  HeapFile file_;
+};
+
+TEST_F(WalTest, CommittedInsertSurvivesCrash) {
+  auto txn = txns_.Begin();
+  auto oid = file_.Insert(txn.get(), Rec("persist-me"));
+  ASSERT_TRUE(oid.ok());
+  ASSERT_TRUE(txns_.Commit(txn.get()).ok());
+  Crash();  // nothing was flushed: redo must reconstruct the page
+  ASSERT_TRUE(Recover().ok());
+  auto rec = file_.Get(*oid);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(Str(*rec), "persist-me");
+}
+
+TEST_F(WalTest, UncommittedInsertRolledBackOnRecovery) {
+  auto txn = txns_.Begin();
+  auto oid = file_.Insert(txn.get(), Rec("ghost"));
+  ASSERT_TRUE(oid.ok());
+  // Force the log so the insert is durable but the txn never committed.
+  log_.Force(log_.last_lsn());
+  Crash();
+  ASSERT_TRUE(Recover().ok());
+  EXPECT_FALSE(file_.Get(*oid).ok());  // undone
+}
+
+TEST_F(WalTest, UnforcedUncommittedWorkSimplyVanishes) {
+  auto txn = txns_.Begin();
+  auto oid = file_.Insert(txn.get(), Rec("never-forced"));
+  ASSERT_TRUE(oid.ok());
+  Crash();  // log records were never forced
+  ASSERT_TRUE(Recover().ok());
+  EXPECT_FALSE(file_.Get(*oid).ok());
+}
+
+TEST_F(WalTest, CommittedDeleteSurvives) {
+  auto t1 = txns_.Begin();
+  auto oid = file_.Insert(t1.get(), Rec("to-delete"));
+  ASSERT_TRUE(oid.ok());
+  ASSERT_TRUE(txns_.Commit(t1.get()).ok());
+  auto t2 = txns_.Begin();
+  ASSERT_TRUE(file_.Delete(t2.get(), *oid).ok());
+  ASSERT_TRUE(txns_.Commit(t2.get()).ok());
+  Crash();
+  ASSERT_TRUE(Recover().ok());
+  EXPECT_FALSE(file_.Get(*oid).ok());
+}
+
+TEST_F(WalTest, UncommittedDeleteRestored) {
+  auto t1 = txns_.Begin();
+  auto oid = file_.Insert(t1.get(), Rec("keep-me"));
+  ASSERT_TRUE(oid.ok());
+  ASSERT_TRUE(txns_.Commit(t1.get()).ok());
+  ASSERT_TRUE(pool_.FlushAll().ok());  // delete will hit disk state
+  auto t2 = txns_.Begin();
+  ASSERT_TRUE(file_.Delete(t2.get(), *oid).ok());
+  log_.Force(log_.last_lsn());
+  ASSERT_TRUE(pool_.FlushAll().ok());  // deleted state reached disk too
+  Crash();
+  ASSERT_TRUE(Recover().ok());
+  auto rec = file_.Get(*oid);
+  ASSERT_TRUE(rec.ok());  // undo re-inserted it
+  EXPECT_EQ(Str(*rec), "keep-me");
+}
+
+TEST_F(WalTest, UpdateRedoAndUndo) {
+  auto t1 = txns_.Begin();
+  auto oid = file_.Insert(t1.get(), Rec("vvvv1"));
+  ASSERT_TRUE(oid.ok());
+  ASSERT_TRUE(txns_.Commit(t1.get()).ok());
+  // Committed update, unflushed: redo must reapply.
+  auto t2 = txns_.Begin();
+  ASSERT_TRUE(file_.Update(t2.get(), *oid, Rec("vvvv2")).ok());
+  ASSERT_TRUE(txns_.Commit(t2.get()).ok());
+  Crash();
+  ASSERT_TRUE(Recover().ok());
+  EXPECT_EQ(Str(*file_.Get(*oid)), "vvvv2");
+  // Uncommitted update, forced: undo must restore.
+  auto t3 = txns_.Begin();
+  ASSERT_TRUE(file_.Update(t3.get(), *oid, Rec("vvvv3")).ok());
+  log_.Force(log_.last_lsn());
+  Crash();
+  ASSERT_TRUE(Recover().ok());
+  EXPECT_EQ(Str(*file_.Get(*oid)), "vvvv2");
+}
+
+TEST_F(WalTest, ExplicitAbortUndoesImmediately) {
+  auto t1 = txns_.Begin();
+  auto keep = file_.Insert(t1.get(), Rec("committed"));
+  ASSERT_TRUE(keep.ok());
+  ASSERT_TRUE(txns_.Commit(t1.get()).ok());
+
+  auto t2 = txns_.Begin();
+  auto gone = file_.Insert(t2.get(), Rec("aborted"));
+  ASSERT_TRUE(gone.ok());
+  ASSERT_TRUE(file_.Delete(t2.get(), *keep).ok());
+  ASSERT_TRUE(txns_.Abort(t2.get()).ok());
+
+  EXPECT_FALSE(file_.Get(*gone).ok());
+  EXPECT_EQ(Str(*file_.Get(*keep)), "committed");
+  EXPECT_EQ(t2->state(), TxnState::kAborted);
+}
+
+TEST_F(WalTest, AbortedTxnStaysAbortedAfterCrash) {
+  auto t1 = txns_.Begin();
+  auto oid = file_.Insert(t1.get(), Rec("flip-flop"));
+  ASSERT_TRUE(oid.ok());
+  ASSERT_TRUE(txns_.Abort(t1.get()).ok());  // forces CLRs + abort record
+  Crash();
+  ASSERT_TRUE(Recover().ok());
+  EXPECT_FALSE(file_.Get(*oid).ok());
+}
+
+TEST_F(WalTest, InterleavedWinnersAndLosers) {
+  auto winner = txns_.Begin();
+  auto loser = txns_.Begin();
+  auto w1 = file_.Insert(winner.get(), Rec("w1"));
+  auto l1 = file_.Insert(loser.get(), Rec("l1"));
+  auto w2 = file_.Insert(winner.get(), Rec("w2"));
+  auto l2 = file_.Insert(loser.get(), Rec("l2"));
+  ASSERT_TRUE(w1.ok() && l1.ok() && w2.ok() && l2.ok());
+  ASSERT_TRUE(txns_.Commit(winner.get()).ok());
+  // Loser's records are durable in the log (commit forced past them).
+  Crash();
+  ASSERT_TRUE(Recover().ok());
+  EXPECT_EQ(Str(*file_.Get(*w1)), "w1");
+  EXPECT_EQ(Str(*file_.Get(*w2)), "w2");
+  EXPECT_FALSE(file_.Get(*l1).ok());
+  EXPECT_FALSE(file_.Get(*l2).ok());
+}
+
+TEST_F(WalTest, RecoveryIsIdempotent) {
+  auto txn = txns_.Begin();
+  auto oid = file_.Insert(txn.get(), Rec("idempotent"));
+  ASSERT_TRUE(oid.ok());
+  ASSERT_TRUE(txns_.Commit(txn.get()).ok());
+  Crash();
+  ASSERT_TRUE(Recover().ok());
+  ASSERT_TRUE(pool_.FlushAll().ok());
+  // Crash again right after recovery, recover again.
+  Crash();
+  ASSERT_TRUE(Recover().ok());
+  EXPECT_EQ(Str(*file_.Get(*oid)), "idempotent");
+  EXPECT_EQ(file_.num_records(), 1);
+}
+
+TEST_F(WalTest, ManyTransactionsTornAtCrash) {
+  std::vector<Oid> committed, uncommitted;
+  for (int i = 0; i < 50; ++i) {
+    auto txn = txns_.Begin();
+    auto oid = file_.Insert(txn.get(), Rec("batch-" + std::to_string(i)));
+    ASSERT_TRUE(oid.ok());
+    if (i % 3 == 0) {
+      ASSERT_TRUE(txns_.Commit(txn.get()).ok());
+      committed.push_back(*oid);
+    } else {
+      uncommitted.push_back(*oid);
+    }
+  }
+  log_.Force(log_.last_lsn());
+  Crash();
+  ASSERT_TRUE(Recover().ok());
+  for (const Oid& oid : committed) EXPECT_TRUE(file_.Get(oid).ok());
+  for (const Oid& oid : uncommitted) EXPECT_FALSE(file_.Get(oid).ok());
+}
+
+TEST(LogManagerTest, ForceAndTruncate) {
+  LogManager log(nullptr);
+  LogRecord r;
+  r.type = LogRecordType::kBegin;
+  r.txn = 1;
+  Lsn l1 = log.Append(r);
+  Lsn l2 = log.Append(r);
+  EXPECT_EQ(l1, 1u);
+  EXPECT_EQ(l2, 2u);
+  log.Force(l1);
+  EXPECT_EQ(log.durable_lsn(), 1u);
+  log.CrashTruncate();
+  EXPECT_EQ(log.last_lsn(), 1u);
+  EXPECT_EQ(log.DurableRecords().size(), 1u);
+}
+
+}  // namespace
+}  // namespace paradise::storage
