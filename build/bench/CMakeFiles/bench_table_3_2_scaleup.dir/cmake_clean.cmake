@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table_3_2_scaleup.dir/bench_table_3_2_scaleup.cc.o"
+  "CMakeFiles/bench_table_3_2_scaleup.dir/bench_table_3_2_scaleup.cc.o.d"
+  "bench_table_3_2_scaleup"
+  "bench_table_3_2_scaleup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table_3_2_scaleup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

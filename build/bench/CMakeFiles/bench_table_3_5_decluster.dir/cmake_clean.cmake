@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table_3_5_decluster.dir/bench_table_3_5_decluster.cc.o"
+  "CMakeFiles/bench_table_3_5_decluster.dir/bench_table_3_5_decluster.cc.o.d"
+  "bench_table_3_5_decluster"
+  "bench_table_3_5_decluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table_3_5_decluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_table_3_5_decluster.
+# This may be replaced when dependencies are built.

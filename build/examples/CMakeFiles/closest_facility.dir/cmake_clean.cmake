@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/closest_facility.dir/closest_facility.cpp.o"
+  "CMakeFiles/closest_facility.dir/closest_facility.cpp.o.d"
+  "closest_facility"
+  "closest_facility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/closest_facility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

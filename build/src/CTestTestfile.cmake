@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("geom")
+subdirs("codec")
+subdirs("storage")
+subdirs("index")
+subdirs("array")
+subdirs("catalog")
+subdirs("exec")
+subdirs("core")
+subdirs("datagen")
+subdirs("benchmark")
+subdirs("sql")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/array/chunked_array.cc" "src/array/CMakeFiles/paradise_array.dir/chunked_array.cc.o" "gcc" "src/array/CMakeFiles/paradise_array.dir/chunked_array.cc.o.d"
+  "/root/repo/src/array/raster.cc" "src/array/CMakeFiles/paradise_array.dir/raster.cc.o" "gcc" "src/array/CMakeFiles/paradise_array.dir/raster.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/paradise_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/paradise_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/paradise_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/paradise_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paradise_array.dir/chunked_array.cc.o"
+  "CMakeFiles/paradise_array.dir/chunked_array.cc.o.d"
+  "CMakeFiles/paradise_array.dir/raster.cc.o"
+  "CMakeFiles/paradise_array.dir/raster.cc.o.d"
+  "libparadise_array.a"
+  "libparadise_array.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paradise_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

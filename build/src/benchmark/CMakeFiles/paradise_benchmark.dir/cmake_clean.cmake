@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paradise_benchmark.dir/database.cc.o"
+  "CMakeFiles/paradise_benchmark.dir/database.cc.o.d"
+  "CMakeFiles/paradise_benchmark.dir/queries.cc.o"
+  "CMakeFiles/paradise_benchmark.dir/queries.cc.o.d"
+  "libparadise_benchmark.a"
+  "libparadise_benchmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paradise_benchmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

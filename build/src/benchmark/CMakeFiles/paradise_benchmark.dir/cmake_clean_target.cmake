@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libparadise_benchmark.a"
+)

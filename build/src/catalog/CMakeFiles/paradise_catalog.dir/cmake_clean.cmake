@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paradise_catalog.dir/aggregate_registry.cc.o"
+  "CMakeFiles/paradise_catalog.dir/aggregate_registry.cc.o.d"
+  "CMakeFiles/paradise_catalog.dir/catalog.cc.o"
+  "CMakeFiles/paradise_catalog.dir/catalog.cc.o.d"
+  "libparadise_catalog.a"
+  "libparadise_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paradise_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

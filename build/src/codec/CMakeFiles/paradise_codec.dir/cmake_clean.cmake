@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paradise_codec.dir/lzw.cc.o"
+  "CMakeFiles/paradise_codec.dir/lzw.cc.o.d"
+  "libparadise_codec.a"
+  "libparadise_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paradise_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paradise_common.dir/date.cc.o"
+  "CMakeFiles/paradise_common.dir/date.cc.o.d"
+  "CMakeFiles/paradise_common.dir/status.cc.o"
+  "CMakeFiles/paradise_common.dir/status.cc.o.d"
+  "libparadise_common.a"
+  "libparadise_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paradise_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

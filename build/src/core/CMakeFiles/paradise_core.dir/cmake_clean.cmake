@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paradise_core.dir/cluster.cc.o"
+  "CMakeFiles/paradise_core.dir/cluster.cc.o.d"
+  "CMakeFiles/paradise_core.dir/coordinator.cc.o"
+  "CMakeFiles/paradise_core.dir/coordinator.cc.o.d"
+  "CMakeFiles/paradise_core.dir/parallel_ops.cc.o"
+  "CMakeFiles/paradise_core.dir/parallel_ops.cc.o.d"
+  "CMakeFiles/paradise_core.dir/pull.cc.o"
+  "CMakeFiles/paradise_core.dir/pull.cc.o.d"
+  "CMakeFiles/paradise_core.dir/query_builder.cc.o"
+  "CMakeFiles/paradise_core.dir/query_builder.cc.o.d"
+  "CMakeFiles/paradise_core.dir/table.cc.o"
+  "CMakeFiles/paradise_core.dir/table.cc.o.d"
+  "libparadise_core.a"
+  "libparadise_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paradise_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

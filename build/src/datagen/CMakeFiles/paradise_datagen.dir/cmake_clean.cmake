@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paradise_datagen.dir/datagen.cc.o"
+  "CMakeFiles/paradise_datagen.dir/datagen.cc.o.d"
+  "libparadise_datagen.a"
+  "libparadise_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paradise_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

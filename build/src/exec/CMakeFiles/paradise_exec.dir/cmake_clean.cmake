@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paradise_exec.dir/aggregate.cc.o"
+  "CMakeFiles/paradise_exec.dir/aggregate.cc.o.d"
+  "CMakeFiles/paradise_exec.dir/expr.cc.o"
+  "CMakeFiles/paradise_exec.dir/expr.cc.o.d"
+  "CMakeFiles/paradise_exec.dir/operators.cc.o"
+  "CMakeFiles/paradise_exec.dir/operators.cc.o.d"
+  "CMakeFiles/paradise_exec.dir/spatial_join.cc.o"
+  "CMakeFiles/paradise_exec.dir/spatial_join.cc.o.d"
+  "CMakeFiles/paradise_exec.dir/value.cc.o"
+  "CMakeFiles/paradise_exec.dir/value.cc.o.d"
+  "libparadise_exec.a"
+  "libparadise_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paradise_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geom/algorithms.cc" "src/geom/CMakeFiles/paradise_geom.dir/algorithms.cc.o" "gcc" "src/geom/CMakeFiles/paradise_geom.dir/algorithms.cc.o.d"
+  "/root/repo/src/geom/geom_strings.cc" "src/geom/CMakeFiles/paradise_geom.dir/geom_strings.cc.o" "gcc" "src/geom/CMakeFiles/paradise_geom.dir/geom_strings.cc.o.d"
+  "/root/repo/src/geom/polygon.cc" "src/geom/CMakeFiles/paradise_geom.dir/polygon.cc.o" "gcc" "src/geom/CMakeFiles/paradise_geom.dir/polygon.cc.o.d"
+  "/root/repo/src/geom/polyline.cc" "src/geom/CMakeFiles/paradise_geom.dir/polyline.cc.o" "gcc" "src/geom/CMakeFiles/paradise_geom.dir/polyline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/paradise_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

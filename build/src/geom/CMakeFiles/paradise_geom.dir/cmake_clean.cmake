@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paradise_geom.dir/algorithms.cc.o"
+  "CMakeFiles/paradise_geom.dir/algorithms.cc.o.d"
+  "CMakeFiles/paradise_geom.dir/geom_strings.cc.o"
+  "CMakeFiles/paradise_geom.dir/geom_strings.cc.o.d"
+  "CMakeFiles/paradise_geom.dir/polygon.cc.o"
+  "CMakeFiles/paradise_geom.dir/polygon.cc.o.d"
+  "CMakeFiles/paradise_geom.dir/polyline.cc.o"
+  "CMakeFiles/paradise_geom.dir/polyline.cc.o.d"
+  "libparadise_geom.a"
+  "libparadise_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paradise_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paradise_index.dir/r_star_tree.cc.o"
+  "CMakeFiles/paradise_index.dir/r_star_tree.cc.o.d"
+  "libparadise_index.a"
+  "libparadise_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paradise_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paradise_sql.dir/engine.cc.o"
+  "CMakeFiles/paradise_sql.dir/engine.cc.o.d"
+  "CMakeFiles/paradise_sql.dir/lexer.cc.o"
+  "CMakeFiles/paradise_sql.dir/lexer.cc.o.d"
+  "libparadise_sql.a"
+  "libparadise_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paradise_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

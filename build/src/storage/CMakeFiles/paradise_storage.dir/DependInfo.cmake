@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/buffer_pool.cc" "src/storage/CMakeFiles/paradise_storage.dir/buffer_pool.cc.o" "gcc" "src/storage/CMakeFiles/paradise_storage.dir/buffer_pool.cc.o.d"
+  "/root/repo/src/storage/disk_volume.cc" "src/storage/CMakeFiles/paradise_storage.dir/disk_volume.cc.o" "gcc" "src/storage/CMakeFiles/paradise_storage.dir/disk_volume.cc.o.d"
+  "/root/repo/src/storage/heap_file.cc" "src/storage/CMakeFiles/paradise_storage.dir/heap_file.cc.o" "gcc" "src/storage/CMakeFiles/paradise_storage.dir/heap_file.cc.o.d"
+  "/root/repo/src/storage/large_object.cc" "src/storage/CMakeFiles/paradise_storage.dir/large_object.cc.o" "gcc" "src/storage/CMakeFiles/paradise_storage.dir/large_object.cc.o.d"
+  "/root/repo/src/storage/lock_manager.cc" "src/storage/CMakeFiles/paradise_storage.dir/lock_manager.cc.o" "gcc" "src/storage/CMakeFiles/paradise_storage.dir/lock_manager.cc.o.d"
+  "/root/repo/src/storage/recovery.cc" "src/storage/CMakeFiles/paradise_storage.dir/recovery.cc.o" "gcc" "src/storage/CMakeFiles/paradise_storage.dir/recovery.cc.o.d"
+  "/root/repo/src/storage/transaction.cc" "src/storage/CMakeFiles/paradise_storage.dir/transaction.cc.o" "gcc" "src/storage/CMakeFiles/paradise_storage.dir/transaction.cc.o.d"
+  "/root/repo/src/storage/wal.cc" "src/storage/CMakeFiles/paradise_storage.dir/wal.cc.o" "gcc" "src/storage/CMakeFiles/paradise_storage.dir/wal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/paradise_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

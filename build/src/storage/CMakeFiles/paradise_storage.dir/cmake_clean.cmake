@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paradise_storage.dir/buffer_pool.cc.o"
+  "CMakeFiles/paradise_storage.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/paradise_storage.dir/disk_volume.cc.o"
+  "CMakeFiles/paradise_storage.dir/disk_volume.cc.o.d"
+  "CMakeFiles/paradise_storage.dir/heap_file.cc.o"
+  "CMakeFiles/paradise_storage.dir/heap_file.cc.o.d"
+  "CMakeFiles/paradise_storage.dir/large_object.cc.o"
+  "CMakeFiles/paradise_storage.dir/large_object.cc.o.d"
+  "CMakeFiles/paradise_storage.dir/lock_manager.cc.o"
+  "CMakeFiles/paradise_storage.dir/lock_manager.cc.o.d"
+  "CMakeFiles/paradise_storage.dir/recovery.cc.o"
+  "CMakeFiles/paradise_storage.dir/recovery.cc.o.d"
+  "CMakeFiles/paradise_storage.dir/transaction.cc.o"
+  "CMakeFiles/paradise_storage.dir/transaction.cc.o.d"
+  "CMakeFiles/paradise_storage.dir/wal.cc.o"
+  "CMakeFiles/paradise_storage.dir/wal.cc.o.d"
+  "libparadise_storage.a"
+  "libparadise_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paradise_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/raster_test.cc" "tests/CMakeFiles/raster_test.dir/raster_test.cc.o" "gcc" "tests/CMakeFiles/raster_test.dir/raster_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/benchmark/CMakeFiles/paradise_benchmark.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/paradise_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/paradise_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/paradise_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/paradise_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/paradise_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/paradise_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/array/CMakeFiles/paradise_array.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/paradise_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/paradise_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/paradise_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/paradise_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_phases.dir/debug_phases.cc.o"
+  "CMakeFiles/debug_phases.dir/debug_phases.cc.o.d"
+  "debug_phases"
+  "debug_phases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
