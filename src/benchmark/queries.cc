@@ -154,6 +154,10 @@ StatusOr<QueryResult> RunAverageQuery(BenchmarkDatabase* db,
     // Declustered plan: every node averages the region tiles it owns
     // locally; partial tiles are shipped to the coordinator for assembly.
     core::Cluster* cluster = db->cluster();
+    // Node closures run concurrently: each fills only its own map slot;
+    // the maps merge after the phase barrier.
+    std::vector<std::map<uint32_t, std::vector<uint16_t>>> node_tiles(
+        cluster->num_nodes());
     std::map<uint32_t, std::vector<uint16_t>> partial_tiles;
     std::vector<uint32_t> region_tiles =
         array::TilesForRegion(rasters[0].handle, lo, hi);
@@ -191,10 +195,13 @@ StatusOr<QueryResult> RunAverageQuery(BenchmarkDatabase* db,
               avg[p] = count[p] == 0 ? array::Raster::kNoData
                                      : static_cast<uint16_t>(sum[p] / count[p]);
             }
-            partial_tiles[t] = std::move(avg);
+            node_tiles[n][t] = std::move(avg);
           }
           return Status::OK();
         }));
+    for (auto& m : node_tiles) {
+      partial_tiles.merge(m);
+    }
     PARADISE_RETURN_IF_ERROR(coord.RunSequential("assemble", [&]() -> Status {
       int64_t bytes = 0;
       for (const auto& [t, avg] : partial_tiles) {

@@ -1,0 +1,82 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace paradise::common {
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(std::max(1, num_threads)) {
+  workers_.reserve(static_cast<size_t>(num_threads_ - 1));
+  for (int i = 1; i < num_threads_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  uint64_t seen_gen = 0;
+  for (;;) {
+    work_cv_.wait(lock, [this, seen_gen] {
+      return shutdown_ || (batch_ != nullptr && batch_gen_ != seen_gen);
+    });
+    if (shutdown_) return;
+    seen_gen = batch_gen_;
+    RunBatch(batch_, &lock);
+  }
+}
+
+void ThreadPool::RunBatch(Batch* batch, std::unique_lock<std::mutex>* lock) {
+  while (batch->next < batch->count) {
+    const int i = batch->next++;
+    ++batch->active;
+    lock->unlock();
+    (*batch->fn)(i);
+    lock->lock();
+    --batch->active;
+  }
+  if (batch->active == 0) done_cv_.notify_all();
+}
+
+void ThreadPool::ParallelFor(int count, const std::function<void(int)>& fn) {
+  if (count <= 0) return;
+  if (workers_.empty()) {
+    for (int i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  Batch batch;
+  batch.fn = &fn;
+  batch.count = count;
+  std::unique_lock<std::mutex> lock(mu_);
+  PARADISE_CHECK(batch_ == nullptr);  // no nested/concurrent ParallelFor
+  batch_ = &batch;
+  ++batch_gen_;
+  work_cv_.notify_all();
+  RunBatch(&batch, &lock);
+  done_cv_.wait(lock, [&batch] {
+    return batch.next >= batch.count && batch.active == 0;
+  });
+  batch_ = nullptr;
+}
+
+int ThreadPool::DefaultNumThreads() {
+  if (const char* env = std::getenv("PARADISE_THREADS")) {
+    const int v = std::atoi(env);
+    if (v >= 1) return v;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+}  // namespace paradise::common

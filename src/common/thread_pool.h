@@ -1,0 +1,65 @@
+#ifndef PARADISE_COMMON_THREAD_POOL_H_
+#define PARADISE_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace paradise::common {
+
+/// Fixed-size worker pool for phase-parallel execution. The calling thread
+/// participates in every ParallelFor, so a pool of `num_threads` reaches
+/// exactly that much concurrency with `num_threads - 1` spawned workers.
+/// With `num_threads <= 1` no workers exist and ParallelFor degenerates to
+/// an inline loop on the caller — the PARADISE_THREADS=1 debugging mode.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// Runs `fn(i)` for every i in [0, count) and blocks until all calls
+  /// have returned (the phase barrier). Indexes are claimed dynamically,
+  /// so uneven per-index work self-balances. `fn` must not throw; report
+  /// failures out-of-band (e.g. a per-index Status slot). Only one
+  /// ParallelFor may be active on a pool at a time.
+  void ParallelFor(int count, const std::function<void(int)>& fn);
+
+  /// PARADISE_THREADS when set to a positive integer, else the hardware
+  /// concurrency (at least 1).
+  static int DefaultNumThreads();
+
+ private:
+  struct Batch {
+    const std::function<void(int)>* fn = nullptr;
+    int count = 0;
+    int next = 0;    // next unclaimed index; guarded by mu_
+    int active = 0;  // threads currently inside fn; guarded by mu_
+  };
+
+  void WorkerLoop();
+  /// Claims and runs indexes until the batch is exhausted. `lock` must
+  /// hold mu_ on entry; it is released around each fn call and held again
+  /// on return.
+  void RunBatch(Batch* batch, std::unique_lock<std::mutex>* lock);
+
+  const int num_threads_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // workers: new batch or shutdown
+  std::condition_variable done_cv_;  // ParallelFor: batch fully drained
+  Batch* batch_ = nullptr;           // non-null while a batch is posted
+  uint64_t batch_gen_ = 0;           // bumped per posted batch
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace paradise::common
+
+#endif  // PARADISE_COMMON_THREAD_POOL_H_

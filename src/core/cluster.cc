@@ -64,6 +64,18 @@ void Cluster::ResetForQuery() {
   coordinator_clock_.Reset();
 }
 
+common::ThreadPool* Cluster::thread_pool() {
+  if (thread_pool_ == nullptr) {
+    thread_pool_ = std::make_unique<common::ThreadPool>(
+        common::ThreadPool::DefaultNumThreads());
+  }
+  return thread_pool_.get();
+}
+
+void Cluster::SetNumThreads(int n) {
+  thread_pool_ = std::make_unique<common::ThreadPool>(n);
+}
+
 std::vector<sim::ResourceUsage> Cluster::EndPhaseAllNodes() {
   std::vector<sim::ResourceUsage> usages;
   usages.reserve(nodes_.size());

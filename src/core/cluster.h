@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "array/chunked_array.h"
+#include "common/thread_pool.h"
 #include "exec/exec_context.h"
 #include "sim/cost_model.h"
 #include "sim/node_clock.h"
@@ -85,10 +86,20 @@ class Cluster {
   /// Sum of all node phase clocks... see QueryCoordinator for phase logic.
   std::vector<sim::ResourceUsage> EndPhaseAllNodes();
 
+  /// The worker pool phase fragments execute on (lazily created, sized by
+  /// PARADISE_THREADS or the hardware concurrency). Modeled time comes
+  /// from the virtual clocks, so the pool size changes wall-clock only.
+  common::ThreadPool* thread_pool();
+
+  /// Rebuilds the pool with exactly `n` threads (tests pin 1 thread to
+  /// debug, then N to check the executor is deterministic).
+  void SetNumThreads(int n);
+
  private:
   sim::CostModel cost_model_;
   std::vector<std::unique_ptr<Node>> nodes_;
   sim::NodeClock coordinator_clock_;
+  std::unique_ptr<common::ThreadPool> thread_pool_;
 };
 
 }  // namespace paradise::core

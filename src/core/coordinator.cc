@@ -10,12 +10,24 @@ void QueryCoordinator::BeginQuery() {
   phases_.clear();
 }
 
-Status QueryCoordinator::RunPhase(
-    const std::string& name, const std::function<Status(int node)>& work) {
-  // Nodes execute their fragments. (On this host they run back-to-back;
-  // time is taken from the per-node clocks, not the wall.)
-  for (int n = 0; n < cluster_->num_nodes(); ++n) {
-    PARADISE_RETURN_IF_ERROR(work(n));
+Status QueryCoordinator::RunPhase(const std::string& name,
+                                  const std::function<Status(int node)>& work,
+                                  const std::function<Status()>& merge) {
+  // Every node executes its fragment on a worker thread; ParallelFor is
+  // the phase barrier. Time is taken from the per-node virtual clocks,
+  // not the wall, so the thread count affects wall-clock only.
+  const int num_nodes = cluster_->num_nodes();
+  std::vector<Status> statuses(num_nodes);
+  cluster_->thread_pool()->ParallelFor(
+      num_nodes, [&](int n) { statuses[n] = work(n); });
+  // Report the lowest failed node, independent of completion order.
+  for (Status& s : statuses) {
+    PARADISE_RETURN_IF_ERROR(std::move(s));
+  }
+  // Cross-node effects (exchange deliveries, receiver-side charges) run
+  // single-threaded after the barrier, inside the same phase.
+  if (merge != nullptr) {
+    PARADISE_RETURN_IF_ERROR(merge());
   }
   PhaseReport report;
   report.name = name;

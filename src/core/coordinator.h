@@ -28,10 +28,23 @@ class QueryCoordinator {
   /// Cold-start protocol: flush+drop buffer pools, zero all clocks.
   void BeginQuery();
 
-  /// Runs `work(node)` for every node, then closes the phase and adds
-  /// max-over-nodes phase time to the query clock.
+  /// Runs `work(node)` for every node on the cluster's worker pool, waits
+  /// at the phase barrier, then closes the phase and adds max-over-nodes
+  /// phase time to the query clock.
+  ///
+  /// Concurrency contract for `work`: a node's closure may touch ONLY that
+  /// node's state (its clock, buffer pool, stores, fragment, and its own
+  /// slot of any shared PerNode vector) plus read-only shared inputs.
+  /// Anything cross-node — charging another node's clock, appending to
+  /// another node's output, deep-copying data onto another node — belongs
+  /// in `merge`, which runs once on the calling thread after the barrier
+  /// but before the phase is closed, so its charges still count toward
+  /// this phase. This keeps the threaded executor race-free AND makes the
+  /// per-node charge sequences independent of the thread count, so
+  /// modeled query_seconds() is bit-identical for 1 and N threads.
   Status RunPhase(const std::string& name,
-                  const std::function<Status(int node)>& work);
+                  const std::function<Status(int node)>& work,
+                  const std::function<Status()>& merge = nullptr);
 
   /// Runs sequential (coordinator-side) work; its time adds fully.
   Status RunSequential(const std::string& name,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 
 #include "common/logging.h"
 #include "sim/cost_model.h"
@@ -112,8 +113,11 @@ StatusOr<PerNode> ParallelSpatialIndexSelect(QueryCoordinator* coord,
         nc.ctx.clock->ChargeDiskRead(nodes_visited * storage::kPageSize,
                                      nodes_visited);
         for (uint64_t row : rows) {
+          // Replica check first: the primary flag lives in the fragment
+          // metadata, so skipping a replica must not cost a page fetch
+          // (otherwise modeled I/O inflates with the replication factor).
+          if (!table.IsPrimary(n, row)) continue;
           PARADISE_ASSIGN_OR_RETURN(Tuple t, table.FetchRow(cluster, n, row));
-          if (!table.IsPrimary(n, row)) continue;  // replica: skip
           if (exact_pred != nullptr) {
             PARADISE_ASSIGN_OR_RETURN(bool keep,
                                       EvalPredicate(exact_pred, t, nc.ctx));
@@ -182,10 +186,15 @@ StatusOr<PerNode> ParallelIndexSelectIntRange(QueryCoordinator* coord,
           rows.push_back(row);
           return true;
         });
-        // Leaf pages touched by the range.
-        int64_t leaves = static_cast<int64_t>(
-            rows.size() / index::BPlusTree<int64_t>::kMaxEntries + 1);
-        clock->ChargeDiskRead(leaves * storage::kPageSize, 1);
+        // Leaf pages touched by the range: ceil(rows / entries-per-leaf),
+        // and nothing at all for an empty range (the probe already paid
+        // the descent to the would-be position).
+        if (!rows.empty()) {
+          int64_t leaves = static_cast<int64_t>(
+              (rows.size() + index::BPlusTree<int64_t>::kMaxEntries - 1) /
+              index::BPlusTree<int64_t>::kMaxEntries);
+          clock->ChargeDiskRead(leaves * storage::kPageSize, 1);
+        }
         for (uint64_t row : rows) {
           if (!table.IsPrimary(n, row)) continue;
           PARADISE_ASSIGN_OR_RETURN(Tuple t, table.FetchRow(cluster, n, row));
@@ -202,10 +211,19 @@ StatusOr<PerNode> Redistribute(
   Cluster* cluster = coord->cluster();
   int N = cluster->num_nodes();
   PerNode out(N);
-  PARADISE_RETURN_IF_ERROR(
-      coord->RunPhase("redistribute", [&](int n) -> Status {
+  // Exchange protocol in two steps. Partition: every node bins its own
+  // tuples per destination, touching only its own clock. Merge (after the
+  // barrier, single-threaded): deliveries, receiver-side deserialization
+  // CPU, and link transfers — everything that mutates *other* nodes.
+  struct OutBin {
+    TupleVec tuples;
+    int64_t bytes = 0;  // wire bytes headed off-node
+  };
+  std::vector<std::vector<OutBin>> bins(N, std::vector<OutBin>(N));
+  PARADISE_RETURN_IF_ERROR(coord->RunPhase(
+      "redistribute",
+      [&](int n) -> Status {
         sim::NodeClock* clock = cluster->node(n).clock();
-        std::vector<int64_t> bytes_to(N, 0);
         std::vector<uint32_t> dests;
         for (const Tuple& t : input[n]) {
           clock->ChargeCpu(sim::cpu_cost::kTupleOverhead +
@@ -215,18 +233,32 @@ StatusOr<PerNode> Redistribute(
           size_t wire = t.WireBytes();
           for (uint32_t d : dests) {
             PARADISE_DCHECK(d < static_cast<uint32_t>(N));
+            OutBin& bin = bins[n][d];
             if (static_cast<int>(d) != n) {
-              bytes_to[d] += static_cast<int64_t>(wire);
-              // Receiver pays deserialization CPU.
-              cluster->node(d).clock()->ChargeCpu(
-                  sim::cpu_cost::kPerByteCopied * static_cast<double>(wire));
+              bin.bytes += static_cast<int64_t>(wire);
             }
-            out[d].push_back(t);
+            bin.tuples.push_back(t);
           }
         }
-        for (int d = 0; d < N; ++d) {
-          cluster->ChargeTransfer(static_cast<uint32_t>(n),
-                                  static_cast<uint32_t>(d), bytes_to[d]);
+        return Status::OK();
+      },
+      [&]() -> Status {
+        for (int n = 0; n < N; ++n) {
+          for (int d = 0; d < N; ++d) {
+            OutBin& bin = bins[n][d];
+            if (d != n) {
+              // Receiver pays deserialization CPU.
+              sim::NodeClock* receiver = cluster->node(d).clock();
+              for (const Tuple& t : bin.tuples) {
+                receiver->ChargeCpu(sim::cpu_cost::kPerByteCopied *
+                                    static_cast<double>(t.WireBytes()));
+              }
+            }
+            cluster->ChargeTransfer(static_cast<uint32_t>(n),
+                                    static_cast<uint32_t>(d), bin.bytes);
+            for (Tuple& t : bin.tuples) out[d].push_back(std::move(t));
+            bin.tuples.clear();
+          }
         }
         return Status::OK();
       }));
@@ -396,7 +428,8 @@ StatusOr<TupleVec> SpatialJoinWithClosest(
   std::vector<std::unique_ptr<index::RStarTree>> trees(N);
   PerNode partials(N);    // [point, shape, distance] candidates
   PerNode unresolved(N);  // point tuples needing every node
-  int64_t local_count = 0;
+  // Per-node tallies: node n's closure may only write slot n.
+  std::vector<int64_t> local_counts(N, 0);
   PARADISE_RETURN_IF_ERROR(
       coord->RunPhase("spatial semi-join", [&](int n) -> Status {
         NodeExecContext nc = MakeNodeContext(cluster, n);
@@ -434,7 +467,7 @@ StatusOr<TupleVec> SpatialJoinWithClosest(
                 features_placed[n][best_row].at(shape_col));
             partial.values.push_back(Value(best_d));
             partials[n].push_back(std::move(partial));
-            ++local_count;
+            ++local_counts[n];
           } else {
             unresolved[n].push_back(pt);
           }
@@ -473,7 +506,8 @@ StatusOr<TupleVec> SpatialJoinWithClosest(
       }));
 
   if (stats != nullptr) {
-    stats->local_points = local_count;
+    stats->local_points = 0;
+    for (int64_t c : local_counts) stats->local_points += c;
     stats->replicated_points = replicated_count;
   }
 
@@ -537,44 +571,78 @@ StatusOr<std::unique_ptr<ParallelTable>> StoreResult(QueryCoordinator* coord,
   Cluster* cluster = coord->cluster();
   int N = cluster->num_nodes();
 
-  // Destination assignment: round-robin over the flattened result.
+  // Destination assignment: round-robin over the flattened result, i.e.
+  // tuple with global index g (counting node 0's tuples, then node 1's,
+  // ...) lands on node g % N. Every node knows its flattened offset up
+  // front, so destinations need no coordination and the output fragments
+  // can never differ in cardinality by more than one — a declustered
+  // result table, however skewed the input was.
+  std::vector<size_t> offset(N, 0);
+  for (int n = 1; n < N; ++n) offset[n] = offset[n - 1] + input[n - 1].size();
+
+  // Partition step (parallel): each node charges its own per-tuple CPU
+  // and stages shallow copies per destination. Merge step (post-barrier,
+  // single-threaded): deep-copy large attributes onto the destination
+  // (pulling tiles, charging owner read + link + destination write) and
+  // charge the tuple transfers — all the cross-node mutation.
+  std::vector<std::vector<std::pair<int, Tuple>>> staged(N);
   PerNode placed(N);
-  PARADISE_RETURN_IF_ERROR(
-      coord->RunPhase("copy on insert", [&](int n) -> Status {
+  PARADISE_RETURN_IF_ERROR(coord->RunPhase(
+      "copy on insert",
+      [&](int n) -> Status {
         sim::NodeClock* clock = cluster->node(n).clock();
+        staged[n].reserve(input[n].size());
         for (size_t i = 0; i < input[n].size(); ++i) {
-          int dest = static_cast<int>((i * N + n) % N);
-          Tuple copy = input[n][i];
-          // Deep-copy large attributes to the destination (pulling tiles).
-          for (Value& v : copy.values) {
-            if (v.type() == ValueType::kRaster) {
-              PARADISE_ASSIGN_OR_RETURN(
-                  array::Raster moved,
-                  CopyRasterTo(cluster, dest, *v.AsRaster()));
-              v = Value(std::move(moved));
-            }
-          }
-          size_t wire = copy.WireBytes();
+          int dest = static_cast<int>((offset[n] + i) % N);
           clock->ChargeCpu(sim::cpu_cost::kTupleOverhead);
-          if (dest != n) {
-            cluster->ChargeTransfer(static_cast<uint32_t>(n),
-                                    static_cast<uint32_t>(dest),
-                                    static_cast<int64_t>(wire));
+          staged[n].emplace_back(dest, input[n][i]);
+        }
+        return Status::OK();
+      },
+      [&]() -> Status {
+        for (int n = 0; n < N; ++n) {
+          for (auto& [dest, copy] : staged[n]) {
+            for (Value& v : copy.values) {
+              if (v.type() == ValueType::kRaster) {
+                PARADISE_ASSIGN_OR_RETURN(
+                    array::Raster moved,
+                    CopyRasterTo(cluster, dest, *v.AsRaster()));
+                v = Value(std::move(moved));
+              }
+            }
+            if (dest != n) {
+              cluster->ChargeTransfer(static_cast<uint32_t>(n),
+                                      static_cast<uint32_t>(dest),
+                                      static_cast<int64_t>(copy.WireBytes()));
+            }
+            placed[dest].push_back(std::move(copy));
           }
-          placed[dest].push_back(std::move(copy));
+          staged[n].clear();
         }
         return Status::OK();
       }));
 
-  // Physically insert into fresh fragments. The copy/transfer phase above
-  // already charged data movement, so load round-robin over the placed
-  // order (which is already round-robin) to keep placement consistent.
+  // Flattened round-robin placement balances fragments to within one.
+  size_t min_frag = SIZE_MAX, max_frag = 0;
+  for (const TupleVec& v : placed) {
+    min_frag = std::min(min_frag, v.size());
+    max_frag = std::max(max_frag, v.size());
+  }
+  PARADISE_DCHECK(max_frag - min_frag <= 1);
+
+  // Physically insert into fresh fragments at exactly the nodes the phase
+  // above copied to (explicit owners — the movement is already charged).
   std::vector<Tuple> all;
-  for (TupleVec& v : placed) {
-    for (Tuple& t : v) all.push_back(std::move(t));
+  std::vector<uint32_t> owners;
+  for (int d = 0; d < N; ++d) {
+    for (Tuple& t : placed[d]) {
+      all.push_back(std::move(t));
+      owners.push_back(static_cast<uint32_t>(d));
+    }
   }
   def.partitioning = catalog::PartitioningKind::kRoundRobin;
-  return ParallelTable::Load(cluster, std::move(def), all);
+  return ParallelTable::Load(cluster, std::move(def), all,
+                             SpatialGrid::kDefaultTilesPerAxis, &owners);
 }
 
 }  // namespace paradise::core

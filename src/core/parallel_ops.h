@@ -67,6 +67,10 @@ StatusOr<PerNode> ParallelIndexSelectIntRange(QueryCoordinator* coord,
 
 /// Redistribution (split-stream) phase: each tuple of `input` is sent to
 /// the node(s) `route` names; network costs are charged on both ends.
+/// Runs as a local partition step (every node bins its own tuples per
+/// destination, in parallel) followed by a single merge/charge step after
+/// the phase barrier that performs the deliveries and receiver-side
+/// charges — see QueryCoordinator::RunPhase's concurrency contract.
 StatusOr<PerNode> Redistribute(
     QueryCoordinator* coord, const PerNode& input,
     const std::function<void(const exec::Tuple&, std::vector<uint32_t>*)>&
@@ -126,8 +130,12 @@ StatusOr<exec::TupleVec> SpatialJoinWithClosest(
     ClosestJoinStats* stats = nullptr);
 
 /// Copy-on-insert into a permanent relation (Sections 2.5.2): stores
-/// result tuples round-robin into fresh fragments, deep-copying raster
-/// attributes to the destination node (pulling tiles if remote).
+/// result tuples round-robin over the *flattened* result (tuple g lands
+/// on node g % N, so output fragments differ in cardinality by at most
+/// one) into fresh fragments, deep-copying raster attributes to the
+/// destination node (pulling tiles if remote). Partitioning runs in
+/// parallel; transfers and deep copies happen in the post-barrier merge
+/// step.
 StatusOr<std::unique_ptr<ParallelTable>> StoreResult(
     QueryCoordinator* coord, const PerNode& input, catalog::TableDef def);
 

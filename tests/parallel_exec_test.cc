@@ -1,0 +1,333 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "benchmark/database.h"
+#include "benchmark/queries.h"
+#include "common/thread_pool.h"
+#include "core/cluster.h"
+#include "core/coordinator.h"
+#include "core/parallel_ops.h"
+#include "core/table.h"
+#include "datagen/datagen.h"
+#include "index/b_plus_tree.h"
+#include "sim/cost_model.h"
+#include "storage/page.h"
+
+namespace paradise {
+namespace {
+
+using catalog::PartitioningKind;
+using catalog::TableDef;
+using core::Cluster;
+using core::ParallelTable;
+using core::PerNode;
+using core::QueryCoordinator;
+using exec::Tuple;
+using exec::TupleVec;
+using exec::Value;
+using exec::ValueType;
+using geom::Box;
+using geom::Point;
+using geom::Polygon;
+
+// ---------- ThreadPool ----------
+
+TEST(ThreadPoolTest, RunsEveryIndexExactlyOnce) {
+  common::ThreadPool pool(4);
+  std::vector<int> hits(100, 0);  // distinct slots: no two tasks share one
+  pool.ParallelFor(100, [&](int i) { ++hits[i]; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPoolTest, SingleThreadRunsInlineInIndexOrder) {
+  common::ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1);
+  std::vector<int> order;
+  pool.ParallelFor(10, [&](int i) { order.push_back(i); });
+  ASSERT_EQ(order.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyBatches) {
+  common::ThreadPool pool(3);
+  std::vector<int> hits(7, 0);
+  for (int round = 0; round < 50; ++round) {
+    pool.ParallelFor(7, [&](int i) { ++hits[i]; });
+  }
+  for (int h : hits) EXPECT_EQ(h, 50);
+}
+
+TEST(ThreadPoolTest, MoreThreadsThanWork) {
+  common::ThreadPool pool(8);
+  std::vector<int> hits(2, 0);
+  pool.ParallelFor(2, [&](int i) { ++hits[i]; });
+  EXPECT_EQ(hits[0], 1);
+  EXPECT_EQ(hits[1], 1);
+}
+
+TEST(ThreadPoolTest, EmptyBatchIsANoOp) {
+  common::ThreadPool pool(2);
+  pool.ParallelFor(0, [&](int) { FAIL() << "must not run"; });
+}
+
+TEST(ThreadPoolTest, DefaultThreadCountRespectsEnv) {
+  ::setenv("PARADISE_THREADS", "3", 1);
+  EXPECT_EQ(common::ThreadPool::DefaultNumThreads(), 3);
+  ::setenv("PARADISE_THREADS", "0", 1);  // invalid: fall back to hardware
+  EXPECT_GE(common::ThreadPool::DefaultNumThreads(), 1);
+  ::unsetenv("PARADISE_THREADS");
+  EXPECT_GE(common::ThreadPool::DefaultNumThreads(), 1);
+}
+
+// ---------- Determinism of the phase-parallel executor ----------
+//
+// The per-node virtual clocks are the only time source, and the phase
+// contract confines every closure to its own node's state, so the modeled
+// query time and the delivered rows must be bit-identical no matter how
+// many worker threads execute the phases.
+
+benchmark::LoadOptions TinyLoadOptions() {
+  benchmark::LoadOptions lopts;
+  lopts.tiles_per_axis = 20;
+  return lopts;
+}
+
+datagen::DataSetOptions TinyDataOptions() {
+  datagen::DataSetOptions o;
+  o.size_fraction = 1.0 / 1000;
+  o.num_dates = 8;
+  o.base_raster_size = 96;
+  return o;
+}
+
+struct LoadedDb {
+  std::unique_ptr<Cluster> cluster;
+  std::unique_ptr<benchmark::BenchmarkDatabase> db;
+};
+
+LoadedDb LoadTinyDb(int nodes, int num_threads) {
+  LoadedDb out;
+  Cluster::Options copts;
+  copts.buffer_pool_frames = 2048;
+  out.cluster = std::make_unique<Cluster>(nodes, copts);
+  out.cluster->SetNumThreads(num_threads);
+  datagen::GlobalDataSet ds = datagen::GenerateGlobalDataSet(TinyDataOptions());
+  auto db = benchmark::BenchmarkDatabase::Load(out.cluster.get(), ds,
+                                               TinyLoadOptions());
+  EXPECT_TRUE(db.ok()) << db.status().ToString();
+  out.db = std::move(*db);
+  return out;
+}
+
+/// Order-preserving exact rendering of a result set. Doubles print with 17
+/// significant digits (round-trip exact); rasters by their dimensions.
+std::vector<std::string> RenderRows(const TupleVec& rows) {
+  std::vector<std::string> out;
+  out.reserve(rows.size());
+  for (const Tuple& t : rows) {
+    std::string s;
+    for (const Value& v : t.values) {
+      switch (v.type()) {
+        case ValueType::kRaster: {
+          char buf[64];
+          std::snprintf(buf, sizeof(buf), "raster[%ux%u]",
+                        v.AsRaster()->height(), v.AsRaster()->width());
+          s += buf;
+          break;
+        }
+        case ValueType::kDouble: {
+          char buf[40];
+          std::snprintf(buf, sizeof(buf), "%.17g", v.AsDouble());
+          s += buf;
+          break;
+        }
+        default:
+          s += v.ToString();
+      }
+      s += "|";
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+class ThreadCountDeterminismTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThreadCountDeterminismTest, ModeledTimeAndRowsBitIdentical) {
+  const int query = GetParam();
+  LoadedDb serial = LoadTinyDb(4, /*num_threads=*/1);
+  LoadedDb threaded = LoadTinyDb(4, /*num_threads=*/8);
+  auto r1 = benchmark::RunQueryByNumber(serial.db.get(), query);
+  auto r8 = benchmark::RunQueryByNumber(threaded.db.get(), query);
+  ASSERT_TRUE(r1.ok()) << "1-thread: " << r1.status().ToString();
+  ASSERT_TRUE(r8.ok()) << "8-thread: " << r8.status().ToString();
+  // Bit-identical modeled time, per phase and in total.
+  EXPECT_EQ(r1->seconds, r8->seconds) << "query " << query;
+  ASSERT_EQ(r1->phases.size(), r8->phases.size());
+  for (size_t p = 0; p < r1->phases.size(); ++p) {
+    EXPECT_EQ(r1->phases[p].name, r8->phases[p].name);
+    EXPECT_EQ(r1->phases[p].seconds, r8->phases[p].seconds)
+        << "query " << query << " phase " << r1->phases[p].name;
+    EXPECT_EQ(r1->phases[p].max_node_seconds, r8->phases[p].max_node_seconds);
+    EXPECT_EQ(r1->phases[p].total_node_seconds,
+              r8->phases[p].total_node_seconds);
+  }
+  // Identical tuples in identical order.
+  EXPECT_EQ(RenderRows(r1->rows), RenderRows(r8->rows)) << "query " << query;
+}
+
+INSTANTIATE_TEST_SUITE_P(Queries, ThreadCountDeterminismTest,
+                         ::testing::Values(2, 5, 11, 12));
+
+// ---------- StoreResult round-robin placement ----------
+
+TableDef PolyDef(const std::string& name) {
+  TableDef def;
+  def.name = name;
+  def.schema = exec::Schema(
+      {{"id", ValueType::kInt}, {"shape", ValueType::kPolygon}});
+  def.partitioning = PartitioningKind::kRoundRobin;
+  def.partition_column = 1;
+  return def;
+}
+
+Tuple PolyTuple(int64_t id, double cx, double cy, double r) {
+  std::vector<Point> ring = {Point{cx - r, cy - r}, Point{cx + r, cy - r},
+                             Point{cx + r, cy + r}, Point{cx - r, cy + r}};
+  return Tuple({Value(id), Value(Polygon(std::move(ring)))});
+}
+
+TEST(StoreResultTest, SkewedInputBalancesWithinOneAndChargesTransfer) {
+  Cluster::Options copts;
+  copts.buffer_pool_frames = 512;
+  Cluster cluster(4, copts);
+  QueryCoordinator coord(&cluster);
+  coord.BeginQuery();
+  // Heavily skewed input: 13 tuples on node 0, 5 on node 2, none elsewhere
+  // (the shape a selective spatial predicate produces).
+  PerNode input(4);
+  int64_t id = 0;
+  for (int i = 0; i < 13; ++i) input[0].push_back(PolyTuple(id++, i, 0, 0.4));
+  for (int i = 0; i < 5; ++i) input[2].push_back(PolyTuple(id++, i, 5, 0.4));
+  auto stored = core::StoreResult(&coord, input, PolyDef("balanced"));
+  ASSERT_TRUE(stored.ok()) << stored.status().ToString();
+  EXPECT_EQ((*stored)->num_rows(), 18);
+  // Round-robin over the flattened result: fragment cardinalities within 1.
+  int64_t min_rows = std::numeric_limits<int64_t>::max(), max_rows = 0;
+  for (int n = 0; n < 4; ++n) {
+    int64_t rows = (*stored)->fragment(n).num_rows();
+    min_rows = std::min(min_rows, rows);
+    max_rows = std::max(max_rows, rows);
+  }
+  EXPECT_LE(max_rows - min_rows, 1) << "min " << min_rows << " max "
+                                    << max_rows;
+  EXPECT_GE(min_rows, 4);
+  // Tuples left their origin nodes, so transfers were charged.
+  int64_t net_bytes = 0;
+  for (int n = 0; n < 4; ++n) {
+    net_bytes += cluster.node(n).clock()->total_usage().net_bytes;
+  }
+  EXPECT_GT(net_bytes, 0);
+  // Nothing lost or duplicated.
+  std::multiset<int64_t> seen;
+  for (int n = 0; n < 4; ++n) {
+    auto frag = (*stored)->ScanFragment(&cluster, n, true);
+    ASSERT_TRUE(frag.ok());
+    for (const Tuple& t : *frag) seen.insert(t.at(0).AsInt());
+  }
+  EXPECT_EQ(seen.size(), 18u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 17);
+}
+
+// ---------- Cost-charge regressions ----------
+
+TEST(IndexRangeChargeTest, EmptyRangeChargesProbeOnly) {
+  Cluster::Options copts;
+  copts.buffer_pool_frames = 512;
+  Cluster cluster(1, copts);
+  TupleVec rows;
+  for (int64_t i = 0; i < 200; ++i) rows.push_back(PolyTuple(i, i, 0, 0.4));
+  TableDef def = PolyDef("indexed");
+  def.indexes = {catalog::IndexDef{"id_idx", 0, /*spatial=*/false}};
+  auto table = ParallelTable::Load(&cluster, def, rows);
+  ASSERT_TRUE(table.ok());
+  QueryCoordinator coord(&cluster);
+  coord.BeginQuery();
+  auto out = core::ParallelIndexSelectIntRange(&coord, **table, 0, 1000, 2000);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_TRUE((*out)[0].empty());
+  // An empty range pays the B+-tree descent and not a single leaf or heap
+  // page beyond it.
+  auto it = (*table)->fragment(0).int_indexes.find(0);
+  ASSERT_NE(it, (*table)->fragment(0).int_indexes.end());
+  const int64_t height = static_cast<int64_t>(it->second.height());
+  const sim::ResourceUsage usage = cluster.node(0).clock()->total_usage();
+  EXPECT_EQ(usage.disk_bytes_read,
+            height * static_cast<int64_t>(storage::kPageSize));
+  EXPECT_EQ(usage.disk_seeks, height);
+}
+
+TEST(SpatialSelectReplicaTest, ReplicasAreNotFetched) {
+  // Every polygon spans the whole universe, so on a 2-node spatial table
+  // each tuple is stored twice (one primary + one replica). The select
+  // must test the primary flag *before* fetching, so the total fetch CPU
+  // equals the single-node (replica-free) run — not double it.
+  const Box universe(0, 0, 100, 100);
+  auto build = [&](int nodes) {
+    Cluster::Options copts;
+    copts.buffer_pool_frames = 512;
+    auto cluster = std::make_unique<Cluster>(nodes, copts);
+    TupleVec rows;
+    for (int64_t i = 0; i < 50; ++i) {
+      rows.push_back(PolyTuple(i, 50, 50, 49.0));  // spans every tile
+    }
+    TableDef def = PolyDef("spatial");
+    def.partitioning = PartitioningKind::kSpatial;
+    def.universe = universe;
+    def.indexes = {catalog::IndexDef{"shape_idx", 1, /*spatial=*/true}};
+    auto table =
+        ParallelTable::Load(cluster.get(), def, rows, /*tiles_per_axis=*/4);
+    EXPECT_TRUE(table.ok());
+    return std::make_pair(std::move(cluster), std::move(*table));
+  };
+  auto [cluster1, table1] = build(1);
+  auto [cluster2, table2] = build(2);
+  ASSERT_EQ(table1->num_stored(), 50);
+  ASSERT_EQ(table2->num_stored(), 100);  // fully replicated
+  ASSERT_EQ(table2->num_rows(), 50);
+
+  auto run = [&](Cluster* cluster, const ParallelTable& table) {
+    QueryCoordinator coord(cluster);
+    coord.BeginQuery();
+    auto out = core::ParallelSpatialIndexSelect(&coord, table, universe,
+                                                nullptr);
+    EXPECT_TRUE(out.ok());
+    size_t total_rows = 0;
+    double cpu = 0;
+    for (const TupleVec& v : *out) total_rows += v.size();
+    for (int n = 0; n < cluster->num_nodes(); ++n) {
+      cpu += cluster->node(n).clock()->total_usage().cpu_ops;
+    }
+    EXPECT_EQ(total_rows, 50u);  // primaries only, each exactly once
+    return cpu;
+  };
+  const double cpu1 = run(cluster1.get(), *table1);
+  const double cpu2 = run(cluster2.get(), *table2);
+  // The only CPU in this phase is per-fetched-row decode cost, and the
+  // encoded records are identical on both clusters — so fetching primaries
+  // only makes the totals equal. Fetching replicas would double cpu2.
+  EXPECT_DOUBLE_EQ(cpu1, cpu2);
+}
+
+}  // namespace
+}  // namespace paradise

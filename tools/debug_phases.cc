@@ -1,4 +1,5 @@
 // Developer tool: run one benchmark query and print its phase breakdown.
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include "bench/bench_util.h"
@@ -16,13 +17,18 @@ int main(int argc, char** argv) {
     if (strcmp(argv[i], "--decluster") == 0) decluster = true;
   }
   bench::LoadedDb l = bench::LoadDb(cfg, nodes, scale, decluster);
+  auto wall_start = std::chrono::steady_clock::now();
   auto r = benchmark::RunQueryByNumber(l.db.get(), query);
+  auto wall_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                     std::chrono::steady_clock::now() - wall_start)
+                     .count();
   if (!r.ok()) {
     fprintf(stderr, "failed: %s\n", r.status().ToString().c_str());
     return 1;
   }
-  printf("query %d on %d nodes (S=%d): %.4f s, %zu rows\n", query, nodes,
-         scale, r->seconds, r->rows.size());
+  printf("query %d on %d nodes (S=%d): %.4f s, %zu rows (wall %lld ms)\n",
+         query, nodes, scale, r->seconds, r->rows.size(),
+         static_cast<long long>(wall_ms));
   for (const auto& p : r->phases) {
     printf("  %-24s %s  contributes %.4f s (max-node %.4f, total-work %.4f)\n",
            p.name.c_str(), p.sequential ? "[seq]" : "     ", p.seconds,
