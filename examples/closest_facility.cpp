@@ -51,7 +51,7 @@ int main() {
     fac_per[i % N].push_back(facilities[i]);
   }
 
-  coord.BeginQuery();
+  if (!coord.BeginQuery().ok()) return 1;
   core::ClosestJoinStats stats;
   auto result = core::SpatialJoinWithClosest(&coord, city_per, 1, fac_per, 1,
                                              universe, /*tiles_per_axis=*/8,

@@ -55,7 +55,7 @@ int main() {
     road_per[i % N].push_back(roads[i]);
   }
 
-  coord.BeginQuery();
+  if (!coord.BeginQuery().ok()) return 1;
   core::ParallelSpatialJoinOptions opts;
   opts.tiles_per_axis = 40;
   auto joined = core::ParallelSpatialJoin(&coord, river_per, 1, road_per, 1,

@@ -55,7 +55,7 @@ int main() {
 
   // ---- query 1: which parks overlap this neighborhood? ----
   core::QueryCoordinator coord(&cluster);
-  coord.BeginQuery();
+  if (!coord.BeginQuery().ok()) return 1;
   geom::Polygon neighborhood({{40, 40}, {60, 40}, {60, 60}, {40, 60}});
   exec::ExprPtr exact =
       exec::Overlaps(exec::Col(2), exec::Lit(exec::Value(neighborhood)));
@@ -74,7 +74,7 @@ int main() {
               coord.query_seconds(), cluster.num_nodes());
 
   // ---- query 2: total park area, two-phase parallel aggregation ----
-  coord.BeginQuery();
+  if (!coord.BeginQuery().ok()) return 1;
   auto scanned = core::ParallelScan(&coord, **table, nullptr, {});
   if (!scanned.ok()) return 1;
   std::vector<exec::AggregatePtr> aggs = {exec::MakeCount(),
@@ -95,7 +95,7 @@ int main() {
       "ORDER BY name";
   auto plan = engine.Explain(statement);
   if (plan.ok()) std::printf("\nSQL: %s\n%s", statement, plan->c_str());
-  coord.BeginQuery();
+  if (!coord.BeginQuery().ok()) return 1;
   auto sql_rows = engine.Execute(statement, &coord);
   if (sql_rows.ok()) {
     std::printf("SQL result: %zu rows, first = %s (%.1f area units)\n",

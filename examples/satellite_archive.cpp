@@ -59,7 +59,7 @@ int main() {
 
   // ---- clip every channel-5 image by the study region ----
   core::QueryCoordinator coord(&cluster);
-  coord.BeginQuery();
+  if (!coord.BeginQuery().ok()) return 1;
   exec::PolygonPtr region = (*db)->constants().clip_polygon;
   exec::ExprPtr channel5 =
       exec::Cmp(exec::CompareOp::kEq, exec::Col(datagen::col::kRasterChannel),
@@ -80,7 +80,7 @@ int main() {
               ds.rasters[0].width);
 
   // ---- content-based screening: bright scenes over the region ----
-  coord.BeginQuery();
+  if (!coord.BeginQuery().ok()) return 1;
   exec::ExprPtr bright = exec::Cmp(
       exec::CompareOp::kGt,
       exec::RasterAverageOf(

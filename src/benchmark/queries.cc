@@ -82,7 +82,7 @@ StatusOr<PerNode> SelectRasters(QueryCoordinator* coord, BenchmarkDatabase* db,
 StatusOr<QueryResult> RunAverageQuery(BenchmarkDatabase* db,
                                       const Polygon& clip) {
   QueryCoordinator coord(db->cluster());
-  coord.BeginQuery();
+  PARADISE_RETURN_IF_ERROR(coord.BeginQuery());
   const QueryConstants& k = db->constants();
   // All channels of the Q3 date (4 rasters).
   PARADISE_ASSIGN_OR_RETURN(
@@ -225,7 +225,7 @@ StatusOr<QueryResult> RunAverageQuery(BenchmarkDatabase* db,
 
 StatusOr<QueryResult> RunQuery2(BenchmarkDatabase* db) {
   QueryCoordinator coord(db->cluster());
-  coord.BeginQuery();
+  PARADISE_RETURN_IF_ERROR(coord.BeginQuery());
   const QueryConstants& k = db->constants();
   ExprPtr pred = exec::Cmp(CompareOp::kEq, exec::Col(col::kRasterChannel),
                            exec::Lit(Value(k.channel)));
@@ -258,7 +258,7 @@ StatusOr<QueryResult> RunQuery3Prime(BenchmarkDatabase* db) {
 
 StatusOr<QueryResult> RunQuery4(BenchmarkDatabase* db) {
   QueryCoordinator coord(db->cluster());
-  coord.BeginQuery();
+  PARADISE_RETURN_IF_ERROR(coord.BeginQuery());
   const QueryConstants& k = db->constants();
   PARADISE_ASSIGN_OR_RETURN(
       PerNode selected,
@@ -284,7 +284,7 @@ StatusOr<QueryResult> RunQuery4(BenchmarkDatabase* db) {
 
 StatusOr<QueryResult> RunQuery5(BenchmarkDatabase* db) {
   QueryCoordinator coord(db->cluster());
-  coord.BeginQuery();
+  PARADISE_RETURN_IF_ERROR(coord.BeginQuery());
   PARADISE_ASSIGN_OR_RETURN(
       PerNode per, core::ParallelIndexSelectString(
                        &coord, db->places(), col::kPlaceName, "Phoenix"));
@@ -294,7 +294,7 @@ StatusOr<QueryResult> RunQuery5(BenchmarkDatabase* db) {
 
 StatusOr<QueryResult> RunQuery6(BenchmarkDatabase* db) {
   QueryCoordinator coord(db->cluster());
-  coord.BeginQuery();
+  PARADISE_RETURN_IF_ERROR(coord.BeginQuery());
   const QueryConstants& k = db->constants();
   ExprPtr exact =
       exec::Overlaps(exec::Col(col::kLcShape), exec::Lit(Value(k.clip_polygon)));
@@ -313,7 +313,7 @@ StatusOr<QueryResult> RunQuery6(BenchmarkDatabase* db) {
 
 StatusOr<QueryResult> RunQuery7(BenchmarkDatabase* db) {
   QueryCoordinator coord(db->cluster());
-  coord.BeginQuery();
+  PARADISE_RETURN_IF_ERROR(coord.BeginQuery());
   const QueryConstants& k = db->constants();
   geom::Circle circle(k.point, k.radius);
   ExprPtr exact =
@@ -333,7 +333,7 @@ StatusOr<QueryResult> RunQuery7(BenchmarkDatabase* db) {
 
 StatusOr<QueryResult> RunQuery8(BenchmarkDatabase* db) {
   QueryCoordinator coord(db->cluster());
-  coord.BeginQuery();
+  PARADISE_RETURN_IF_ERROR(coord.BeginQuery());
   const QueryConstants& k = db->constants();
   PARADISE_ASSIGN_OR_RETURN(
       PerNode louisville, core::ParallelIndexSelectString(
@@ -389,7 +389,7 @@ namespace {
 StatusOr<QueryResult> RunOilFieldClip(BenchmarkDatabase* db, Date lo,
                                       Date hi) {
   QueryCoordinator coord(db->cluster());
-  coord.BeginQuery();
+  PARADISE_RETURN_IF_ERROR(coord.BeginQuery());
   const QueryConstants& k = db->constants();
   // Oil-field polygons, selected and sent to all the nodes.
   ExprPtr oil_pred =
@@ -433,7 +433,7 @@ StatusOr<QueryResult> RunQuery9(BenchmarkDatabase* db) {
 
 StatusOr<QueryResult> RunQuery10(BenchmarkDatabase* db) {
   QueryCoordinator coord(db->cluster());
-  coord.BeginQuery();
+  PARADISE_RETURN_IF_ERROR(coord.BeginQuery());
   const QueryConstants& k = db->constants();
   // clip() evaluated during predicate evaluation (a large attribute
   // created in the where clause), then again in the projection.
@@ -453,7 +453,7 @@ StatusOr<QueryResult> RunQuery10(BenchmarkDatabase* db) {
 
 StatusOr<QueryResult> RunQuery11(BenchmarkDatabase* db) {
   QueryCoordinator coord(db->cluster());
-  coord.BeginQuery();
+  PARADISE_RETURN_IF_ERROR(coord.BeginQuery());
   const QueryConstants& k = db->constants();
   PARADISE_ASSIGN_OR_RETURN(PerNode roads,
                             core::ParallelScan(&coord, db->roads(), nullptr,
@@ -468,7 +468,7 @@ StatusOr<QueryResult> RunQuery11(BenchmarkDatabase* db) {
 
 StatusOr<QueryResult> RunQuery12(BenchmarkDatabase* db) {
   QueryCoordinator coord(db->cluster());
-  coord.BeginQuery();
+  PARADISE_RETURN_IF_ERROR(coord.BeginQuery());
   ExprPtr city_pred =
       exec::Cmp(CompareOp::kEq, exec::Col(col::kPlaceType),
                 exec::Lit(Value(datagen::kLargeCityType)));
@@ -500,7 +500,7 @@ StatusOr<QueryResult> RunQuery12(BenchmarkDatabase* db) {
 
 StatusOr<QueryResult> RunQuery13(BenchmarkDatabase* db) {
   QueryCoordinator coord(db->cluster());
-  coord.BeginQuery();
+  PARADISE_RETURN_IF_ERROR(coord.BeginQuery());
   // Both tables are spatially declustered on the same grid: phase one of
   // the parallel spatial join is already done (Section 2.7.2).
   PARADISE_ASSIGN_OR_RETURN(

@@ -14,6 +14,7 @@ const char* CodeName(StatusCode code) {
     case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
     case StatusCode::kAborted: return "ABORTED";
     case StatusCode::kCorruption: return "CORRUPTION";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
     case StatusCode::kInternal: return "INTERNAL";
   }
   return "UNKNOWN";

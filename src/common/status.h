@@ -19,11 +19,14 @@ enum class StatusCode {
   kFailedPrecondition,
   kAborted,       // e.g. deadlock victim
   kCorruption,    // on-page / log inconsistency
+  kUnavailable,   // transient fault; safe to retry
   kInternal,
 };
 
 /// Lightweight status object (no exceptions anywhere in the library).
-class Status {
+/// [[nodiscard]]: a dropped Status is a swallowed failure, so every call
+/// site must consume it (or explicitly void-cast with a reason).
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
@@ -53,6 +56,9 @@ class Status {
   }
   static Status Corruption(std::string m) {
     return Status(StatusCode::kCorruption, std::move(m));
+  }
+  static Status Unavailable(std::string m) {
+    return Status(StatusCode::kUnavailable, std::move(m));
   }
   static Status Internal(std::string m) {
     return Status(StatusCode::kInternal, std::move(m));

@@ -42,8 +42,14 @@ void ThreadPool::RunBatch(Batch* batch, std::unique_lock<std::mutex>* lock) {
     const int i = batch->next++;
     ++batch->active;
     lock->unlock();
-    (*batch->fn)(i);
+    std::exception_ptr error;
+    try {
+      (*batch->fn)(i);
+    } catch (...) {
+      error = std::current_exception();
+    }
     lock->lock();
+    if (error && !batch->error) batch->error = error;
     --batch->active;
   }
   if (batch->active == 0) done_cv_.notify_all();
@@ -52,7 +58,17 @@ void ThreadPool::RunBatch(Batch* batch, std::unique_lock<std::mutex>* lock) {
 void ThreadPool::ParallelFor(int count, const std::function<void(int)>& fn) {
   if (count <= 0) return;
   if (workers_.empty()) {
-    for (int i = 0; i < count; ++i) fn(i);
+    // Match the pooled semantics: run every index, rethrow the first
+    // exception at the barrier.
+    std::exception_ptr error;
+    for (int i = 0; i < count; ++i) {
+      try {
+        fn(i);
+      } catch (...) {
+        if (!error) error = std::current_exception();
+      }
+    }
+    if (error) std::rethrow_exception(error);
     return;
   }
   Batch batch;
@@ -68,6 +84,7 @@ void ThreadPool::ParallelFor(int count, const std::function<void(int)>& fn) {
     return batch.next >= batch.count && batch.active == 0;
   });
   batch_ = nullptr;
+  if (batch.error) std::rethrow_exception(batch.error);
 }
 
 int ThreadPool::DefaultNumThreads() {

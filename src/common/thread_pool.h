@@ -3,6 +3,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -27,9 +28,12 @@ class ThreadPool {
 
   /// Runs `fn(i)` for every i in [0, count) and blocks until all calls
   /// have returned (the phase barrier). Indexes are claimed dynamically,
-  /// so uneven per-index work self-balances. `fn` must not throw; report
-  /// failures out-of-band (e.g. a per-index Status slot). Only one
-  /// ParallelFor may be active on a pool at a time.
+  /// so uneven per-index work self-balances. If any call throws, the first
+  /// exception is captured and rethrown here after the barrier (remaining
+  /// indexes still run; the process never terminates from a worker
+  /// thread). Prefer reporting expected failures out-of-band (e.g. a
+  /// per-index Status slot). Only one ParallelFor may be active on a pool
+  /// at a time.
   void ParallelFor(int count, const std::function<void(int)>& fn);
 
   /// PARADISE_THREADS when set to a positive integer, else the hardware
@@ -42,6 +46,7 @@ class ThreadPool {
     int count = 0;
     int next = 0;    // next unclaimed index; guarded by mu_
     int active = 0;  // threads currently inside fn; guarded by mu_
+    std::exception_ptr error;  // first exception thrown; guarded by mu_
   };
 
   void WorkerLoop();

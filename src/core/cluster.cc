@@ -13,7 +13,9 @@ constexpr uint32_t kTempVolumeOffset = 101;
 
 Node::Node(uint32_t id, size_t buffer_pool_frames, int data_volumes)
     : id_(id),
-      pool_(std::make_unique<storage::BufferPool>(buffer_pool_frames)) {
+      pool_(std::make_unique<storage::BufferPool>(buffer_pool_frames)),
+      log_(std::make_unique<storage::LogManager>(&clock_)) {
+  txn_manager_ = std::make_unique<storage::TransactionManager>(log_.get());
   for (int i = 0; i < data_volumes; ++i) {
     volumes_.push_back(std::make_unique<storage::DiskVolume>(
         static_cast<uint32_t>(i), &clock_));
@@ -37,6 +39,10 @@ Node::Node(uint32_t id, size_t buffer_pool_frames, int data_volumes)
       std::make_unique<array::LocalTileSource>(temp_store_.get(), &clock_);
 }
 
+void Node::SetFaultInjector(sim::FaultInjector* injector) {
+  for (auto& v : volumes_) v->SetFaultInjector(injector, id_);
+}
+
 Cluster::Cluster(int num_nodes) : Cluster(num_nodes, Options{}) {}
 
 Cluster::Cluster(int num_nodes, Options options) {
@@ -46,6 +52,7 @@ Cluster::Cluster(int num_nodes, Options options) {
                                             options.buffer_pool_frames,
                                             options.data_volumes_per_node));
   }
+  alive_.assign(nodes_.size(), true);
 }
 
 void Cluster::ChargeTransfer(uint32_t from, uint32_t to, int64_t bytes) {
@@ -53,6 +60,83 @@ void Cluster::ChargeTransfer(uint32_t from, uint32_t to, int64_t bytes) {
   int64_t messages = (bytes + 8191) / 8192;
   nodes_[from]->clock()->ChargeNet(messages, bytes);
   nodes_[to]->clock()->ChargeNet(messages, bytes);
+  if (fault_injector_ == nullptr) return;
+  int64_t ordinal;
+  {
+    std::lock_guard<std::mutex> g(transfer_mu_);
+    ordinal =
+        transfer_ordinals_[(static_cast<uint64_t>(from) << 32) | to]++;
+  }
+  sim::TransferFault fault = fault_injector_->OnTransfer(from, to, ordinal);
+  for (int i = 0; i < fault.dropped; ++i) {
+    // Lost batch: the sender waits out the ack timeout, then both links
+    // carry the retransmission.
+    nodes_[from]->clock()->ChargeIdle(fault_injector_->drop_timeout_seconds());
+    nodes_[from]->clock()->ChargeNet(messages, bytes);
+    nodes_[to]->clock()->ChargeNet(messages, bytes);
+  }
+  if (fault.duplicated) {
+    // Spurious duplicate: the receiver pays to receive and discard it.
+    nodes_[to]->clock()->ChargeNet(messages, bytes);
+    nodes_[to]->clock()->ChargeCpu(sim::cpu_cost::kTupleOverhead);
+  }
+}
+
+void Cluster::SetFaultInjector(sim::FaultInjector* injector) {
+  fault_injector_ = injector;
+  for (auto& n : nodes_) n->SetFaultInjector(injector);
+  std::lock_guard<std::mutex> g(transfer_mu_);
+  transfer_ordinals_.clear();
+}
+
+void Cluster::set_retry_policy(const sim::RetryPolicy& policy) {
+  retry_policy_ = policy;
+  for (auto& n : nodes_) n->pool()->set_retry_policy(policy);
+}
+
+int Cluster::num_alive() const {
+  int count = 0;
+  for (bool a : alive_) count += a ? 1 : 0;
+  return count;
+}
+
+std::vector<int> Cluster::alive_node_ids() const {
+  std::vector<int> ids;
+  ids.reserve(alive_.size());
+  for (size_t i = 0; i < alive_.size(); ++i) {
+    if (alive_[i]) ids.push_back(static_cast<int>(i));
+  }
+  return ids;
+}
+
+void Cluster::CrashNode(int i) {
+  Node& n = *nodes_[static_cast<size_t>(i)];
+  n.pool()->DiscardAll();      // volatile state is gone
+  n.log()->CrashTruncate();    // unforced log tail is gone
+}
+
+Status Cluster::RecoverNode(
+    int i, storage::RecoveryManager::RecoveryStats* stats) {
+  Node& n = *nodes_[static_cast<size_t>(i)];
+  // Restart reads the durable log sequentially off the log disk.
+  int64_t log_bytes = 0;
+  for (const auto& rec : n.log()->DurableRecords()) {
+    log_bytes += 64 + static_cast<int64_t>(rec.before.size()) +
+                 static_cast<int64_t>(rec.after.size());
+  }
+  if (log_bytes > 0) n.clock()->ChargeDiskRead(log_bytes, 1);
+  storage::RecoveryManager recovery(n.txn_manager());
+  PARADISE_RETURN_IF_ERROR(recovery.Recover());
+  // Recovered pages must reach the durable medium before the query
+  // resumes, or a second crash would lose the repairs.
+  PARADISE_RETURN_IF_ERROR(n.pool()->FlushAll());
+  if (stats != nullptr) *stats = recovery.stats();
+  return Status::OK();
+}
+
+void Cluster::MarkNodeDead(int i) {
+  PARADISE_CHECK_MSG(num_alive() > 1, "cannot lose the last node");
+  alive_[static_cast<size_t>(i)] = false;
 }
 
 void Cluster::ResetForQuery() {

@@ -1,17 +1,25 @@
 #ifndef PARADISE_CORE_CLUSTER_H_
 #define PARADISE_CORE_CLUSTER_H_
 
+#include <cstdint>
+#include <functional>
 #include <memory>
+#include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "array/chunked_array.h"
 #include "common/thread_pool.h"
 #include "exec/exec_context.h"
 #include "sim/cost_model.h"
+#include "sim/fault_injector.h"
 #include "sim/node_clock.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk_volume.h"
 #include "storage/large_object.h"
+#include "storage/recovery.h"
+#include "storage/transaction.h"
+#include "storage/wal.h"
 
 namespace paradise::core {
 
@@ -42,6 +50,15 @@ class Node {
   /// Same, for temporary (mid-query) arrays.
   array::LocalTileSource* temp_tile_source() { return temp_source_.get(); }
 
+  /// This node's WAL, on its dedicated log disk (charges this node's
+  /// clock). Table fragments log through it so a crashed node can be
+  /// recovered mid-query.
+  storage::LogManager* log() { return log_.get(); }
+  storage::TransactionManager* txn_manager() { return txn_manager_.get(); }
+
+  /// Wires (or unwires, with nullptr) a fault injector into every volume.
+  void SetFaultInjector(sim::FaultInjector* injector);
+
  private:
   const uint32_t id_;
   sim::NodeClock clock_;
@@ -51,6 +68,8 @@ class Node {
   std::unique_ptr<storage::LargeObjectStore> temp_store_;
   std::unique_ptr<array::LocalTileSource> local_source_;
   std::unique_ptr<array::LocalTileSource> temp_source_;
+  std::unique_ptr<storage::LogManager> log_;
+  std::unique_ptr<storage::TransactionManager> txn_manager_;
 };
 
 /// The simulated shared-nothing cluster plus the coordinator's clock. The
@@ -77,7 +96,51 @@ class Cluster {
   /// Charges a tuple batch transfer of `bytes` from node `from` to node
   /// `to` (sender and receiver links both carry it; messages are charged
   /// per 8 KB batch). `from == to` is free (shared memory transport).
+  /// With a fault injector wired, a batch may be dropped (sender waits out
+  /// the ack timeout, both links carry the retransmission) or duplicated
+  /// (receiver pays to receive and discard the extra copy).
   void ChargeTransfer(uint32_t from, uint32_t to, int64_t bytes);
+
+  /// Wires a fault injector into every node's volumes and this cluster's
+  /// transfer path. Pass nullptr to unwire. Configure the injector before
+  /// wiring; ownership stays with the caller.
+  void SetFaultInjector(sim::FaultInjector* injector);
+  sim::FaultInjector* fault_injector() const { return fault_injector_; }
+
+  /// Retry policy applied by every node's buffer pool and by the
+  /// coordinator's failure protocol.
+  void set_retry_policy(const sim::RetryPolicy& policy);
+  const sim::RetryPolicy& retry_policy() const { return retry_policy_; }
+
+  // -- Node failure -------------------------------------------------------
+
+  bool alive(int i) const { return alive_[static_cast<size_t>(i)]; }
+  int num_alive() const;
+  /// Ids of the nodes currently alive, ascending.
+  std::vector<int> alive_node_ids() const;
+
+  /// Simulated node crash: all volatile state (buffer pool) is lost and
+  /// the log is truncated to its durable prefix. The volumes survive.
+  void CrashNode(int i);
+
+  /// ARIES restart on a crashed node: reads the durable log, redoes
+  /// history, rolls back losers. All I/O is charged to the node's clock.
+  Status RecoverNode(int i,
+                     storage::RecoveryManager::RecoveryStats* stats = nullptr);
+
+  /// Declares a node permanently failed; RunPhase skips dead nodes.
+  void MarkNodeDead(int i);
+
+  /// Invoked by the coordinator after a permanent node loss, before the
+  /// query resumes: redeclusters the dead node's table fragments over the
+  /// survivors (installed by whoever owns the tables).
+  using NodeLossHandler = std::function<Status(int dead_node)>;
+  void set_node_loss_handler(NodeLossHandler handler) {
+    node_loss_handler_ = std::move(handler);
+  }
+  const NodeLossHandler& node_loss_handler() const {
+    return node_loss_handler_;
+  }
 
   /// Flushes every node's buffer pool and resets all clocks — the paper's
   /// cold-buffer-pool protocol between benchmark queries.
@@ -98,8 +161,16 @@ class Cluster {
  private:
   sim::CostModel cost_model_;
   std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<bool> alive_;
   sim::NodeClock coordinator_clock_;
   std::unique_ptr<common::ThreadPool> thread_pool_;
+
+  sim::FaultInjector* fault_injector_ = nullptr;
+  sim::RetryPolicy retry_policy_;
+  NodeLossHandler node_loss_handler_;
+  // Per-(from, to) link batch ordinals keying transfer fault decisions.
+  std::mutex transfer_mu_;
+  std::unordered_map<uint64_t, int64_t> transfer_ordinals_;
 };
 
 }  // namespace paradise::core

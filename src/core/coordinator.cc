@@ -4,68 +4,101 @@
 
 namespace paradise::core {
 
-void QueryCoordinator::BeginQuery() {
+Status QueryCoordinator::BeginQuery() {
   cluster_->ResetForQuery();
   query_seconds_ = 0.0;
+  barriers_passed_ = 0;
   phases_.clear();
+  // Barrier 0: a crash scheduled "at query start" fires before any phase.
+  return HandleBarrierFaults();
 }
 
-Status QueryCoordinator::RunPhase(const std::string& name,
-                                  const std::function<Status(int node)>& work,
-                                  const std::function<Status()>& merge) {
-  // Every node executes its fragment on a worker thread; ParallelFor is
-  // the phase barrier. Time is taken from the per-node virtual clocks,
-  // not the wall, so the thread count affects wall-clock only.
-  const int num_nodes = cluster_->num_nodes();
-  std::vector<Status> statuses(num_nodes);
-  cluster_->thread_pool()->ParallelFor(
-      num_nodes, [&](int n) { statuses[n] = work(n); });
-  // Report the lowest failed node, independent of completion order.
-  for (Status& s : statuses) {
-    PARADISE_RETURN_IF_ERROR(std::move(s));
-  }
-  // Cross-node effects (exchange deliveries, receiver-side charges) run
-  // single-threaded after the barrier, inside the same phase.
-  if (merge != nullptr) {
-    PARADISE_RETURN_IF_ERROR(merge());
-  }
+void QueryCoordinator::ClosePhase(const std::string& name, bool sequential) {
   PhaseReport report;
   report.name = name;
+  report.sequential = sequential;
   const sim::CostModel& model = cluster_->cost_model();
   for (sim::ResourceUsage& usage : cluster_->EndPhaseAllNodes()) {
     double s = model.Seconds(usage);
     report.max_node_seconds = std::max(report.max_node_seconds, s);
     report.total_node_seconds += s;
   }
-  report.seconds = report.max_node_seconds;
+  if (sequential) {
+    // The sequential operator may have pulled data from nodes: their
+    // phase usage counts toward this phase too (they serve tiles while
+    // the coordinator-side operator runs).
+    double seq = model.Seconds(cluster_->coordinator_clock()->EndPhase());
+    report.total_node_seconds += seq;
+    report.seconds = seq + report.max_node_seconds;
+  } else {
+    report.seconds = report.max_node_seconds;
+  }
   query_seconds_ += report.seconds;
   phases_.push_back(std::move(report));
+}
+
+Status QueryCoordinator::HandleBarrierFaults() {
+  const int barrier = barriers_passed_++;
+  sim::FaultInjector* injector = cluster_->fault_injector();
+  if (injector == nullptr) return Status::OK();
+  while (auto crash = injector->TakeCrashAtBarrier(barrier)) {
+    const int n = static_cast<int>(crash->node);
+    if (!cluster_->alive(n)) continue;
+    cluster_->CrashNode(n);
+    // The coordinator notices the missed heartbeat only after the
+    // detection timeout.
+    cluster_->coordinator_clock()->ChargeIdle(
+        retry_policy_.detect_timeout_seconds);
+    if (!crash->permanent) {
+      Status st = cluster_->RecoverNode(n);
+      ClosePhase("recover node " + std::to_string(n), /*sequential=*/true);
+      PARADISE_RETURN_IF_ERROR(std::move(st));
+    } else {
+      cluster_->MarkNodeDead(n);
+      Status st = Status::OK();
+      if (cluster_->node_loss_handler() != nullptr) {
+        st = cluster_->node_loss_handler()(n);
+      }
+      ClosePhase("redecluster after losing node " + std::to_string(n),
+                 /*sequential=*/true);
+      PARADISE_RETURN_IF_ERROR(std::move(st));
+    }
+  }
   return Status::OK();
+}
+
+Status QueryCoordinator::RunPhase(const std::string& name,
+                                  const std::function<Status(int node)>& work,
+                                  const std::function<Status()>& merge) {
+  // Every alive node executes its fragment on a worker thread; ParallelFor
+  // is the phase barrier. Time is taken from the per-node virtual clocks,
+  // not the wall, so the thread count affects wall-clock only.
+  const std::vector<int> alive = cluster_->alive_node_ids();
+  std::vector<Status> statuses(alive.size());
+  cluster_->thread_pool()->ParallelFor(
+      static_cast<int>(alive.size()),
+      [&](int i) { statuses[static_cast<size_t>(i)] = work(alive[i]); });
+  // Report the lowest failed node, independent of completion order.
+  Status failed = Status::OK();
+  for (Status& s : statuses) {
+    if (failed.ok() && !s.ok()) failed = std::move(s);
+  }
+  // Cross-node effects (exchange deliveries, receiver-side charges) run
+  // single-threaded after the barrier, inside the same phase.
+  if (failed.ok() && merge != nullptr) {
+    failed = merge();
+  }
+  ClosePhase(name, /*sequential=*/false);
+  PARADISE_RETURN_IF_ERROR(std::move(failed));
+  return HandleBarrierFaults();
 }
 
 Status QueryCoordinator::RunSequential(const std::string& name,
                                        const std::function<Status()>& work) {
-  PARADISE_RETURN_IF_ERROR(work());
-  PhaseReport report;
-  report.name = name;
-  report.sequential = true;
-  const sim::CostModel& model = cluster_->cost_model();
-  // The sequential operator may have pulled data from nodes: their phase
-  // usage counts toward this phase too (they serve tiles while the
-  // coordinator-side operator runs).
-  double max_node = 0.0, total = 0.0;
-  for (sim::ResourceUsage& usage : cluster_->EndPhaseAllNodes()) {
-    double s = model.Seconds(usage);
-    max_node = std::max(max_node, s);
-    total += s;
-  }
-  double seq = model.Seconds(cluster_->coordinator_clock()->EndPhase());
-  report.max_node_seconds = max_node;
-  report.total_node_seconds = total + seq;
-  report.seconds = seq + max_node;
-  query_seconds_ += report.seconds;
-  phases_.push_back(std::move(report));
-  return Status::OK();
+  Status st = work();
+  ClosePhase(name, /*sequential=*/true);
+  PARADISE_RETURN_IF_ERROR(std::move(st));
+  return HandleBarrierFaults();
 }
 
 }  // namespace paradise::core

@@ -21,16 +21,28 @@ namespace paradise::core {
 /// global aggregate operator of Queries 11/12, Query 3's collector) run
 /// via RunSequential and add their full time — which is exactly what caps
 /// their speedup in Tables 3.2/3.4.
+///
+/// Failure protocol: every phase end is a barrier at which scheduled
+/// node-crash events fire. The coordinator detects a crash after the retry
+/// policy's timeout (charged to its clock), then either restarts the node
+/// via WAL recovery (recoverable crash) or marks it dead, invokes the
+/// cluster's node-loss handler to redecluster the lost fragments, and
+/// finishes the query on the survivors. Each handling step is closed as
+/// its own PhaseReport so the degraded run's extra cost is visible.
 class QueryCoordinator {
  public:
-  explicit QueryCoordinator(Cluster* cluster) : cluster_(cluster) {}
+  explicit QueryCoordinator(Cluster* cluster)
+      : cluster_(cluster), retry_policy_(cluster->retry_policy()) {}
 
-  /// Cold-start protocol: flush+drop buffer pools, zero all clocks.
-  void BeginQuery();
+  /// Cold-start protocol: flush+drop buffer pools, zero all clocks. Also
+  /// barrier 0 of the fault schedule (a crash "just before the query").
+  Status BeginQuery();
 
-  /// Runs `work(node)` for every node on the cluster's worker pool, waits
-  /// at the phase barrier, then closes the phase and adds max-over-nodes
-  /// phase time to the query clock.
+  /// Runs `work(node)` for every *alive* node on the cluster's worker
+  /// pool, waits at the phase barrier, then closes the phase and adds
+  /// max-over-nodes phase time to the query clock. The phase is closed on
+  /// every exit path — a failed node or merge cannot leak its usage into
+  /// the next phase's accounting.
   ///
   /// Concurrency contract for `work`: a node's closure may touch ONLY that
   /// node's state (its clock, buffer pool, stores, fragment, and its own
@@ -64,9 +76,27 @@ class QueryCoordinator {
 
   Cluster* cluster() { return cluster_; }
 
+  /// Overrides the retry policy inherited from the cluster at construction
+  /// (detection timeouts for this coordinator's queries).
+  void set_retry_policy(const sim::RetryPolicy& policy) {
+    retry_policy_ = policy;
+  }
+  const sim::RetryPolicy& retry_policy() const { return retry_policy_; }
+
  private:
+  /// Folds the open phase into query time on every RunPhase/RunSequential
+  /// exit path. Sequential phases add the coordinator clock's time too.
+  void ClosePhase(const std::string& name, bool sequential);
+
+  /// Fires crash events scheduled for the barrier just passed: crash the
+  /// node, charge the detection timeout, then recover it (WAL restart) or
+  /// mark it dead and redecluster via the cluster's node-loss handler.
+  Status HandleBarrierFaults();
+
   Cluster* const cluster_;
+  sim::RetryPolicy retry_policy_;
   double query_seconds_ = 0.0;
+  int barriers_passed_ = 0;
   std::vector<PhaseReport> phases_;
 };
 

@@ -211,6 +211,11 @@ StatusOr<PerNode> Redistribute(
   Cluster* cluster = coord->cluster();
   int N = cluster->num_nodes();
   PerNode out(N);
+  // In degraded (N-1) mode a route function that predates the loss may
+  // still name a dead destination; remap those over the survivors
+  // deterministically so no tuple lands on a node that will never run.
+  const std::vector<int> alive_ids = cluster->alive_node_ids();
+  const bool degraded = static_cast<int>(alive_ids.size()) < N;
   // Exchange protocol in two steps. Partition: every node bins its own
   // tuples per destination, touching only its own clock. Merge (after the
   // barrier, single-threaded): deliveries, receiver-side deserialization
@@ -230,6 +235,16 @@ StatusOr<PerNode> Redistribute(
                            sim::cpu_cost::kHash);
           dests.clear();
           route(t, &dests);
+          if (degraded) {
+            for (uint32_t& d : dests) {
+              if (!cluster->alive(static_cast<int>(d))) {
+                d = static_cast<uint32_t>(alive_ids[d % alive_ids.size()]);
+              }
+            }
+            std::sort(dests.begin(), dests.end());
+            dests.erase(std::unique(dests.begin(), dests.end()),
+                        dests.end());
+          }
           size_t wire = t.WireBytes();
           for (uint32_t d : dests) {
             PARADISE_DCHECK(d < static_cast<uint32_t>(N));
@@ -573,10 +588,13 @@ StatusOr<std::unique_ptr<ParallelTable>> StoreResult(QueryCoordinator* coord,
 
   // Destination assignment: round-robin over the flattened result, i.e.
   // tuple with global index g (counting node 0's tuples, then node 1's,
-  // ...) lands on node g % N. Every node knows its flattened offset up
-  // front, so destinations need no coordination and the output fragments
-  // can never differ in cardinality by more than one — a declustered
-  // result table, however skewed the input was.
+  // ...) lands on the g-th alive node cyclically. Every node knows its
+  // flattened offset up front, so destinations need no coordination and
+  // the output fragments can never differ in cardinality by more than one
+  // — a declustered result table, however skewed the input was. In
+  // degraded mode only the survivors receive fragments.
+  const std::vector<int> alive_ids = cluster->alive_node_ids();
+  const int A = static_cast<int>(alive_ids.size());
   std::vector<size_t> offset(N, 0);
   for (int n = 1; n < N; ++n) offset[n] = offset[n - 1] + input[n - 1].size();
 
@@ -593,7 +611,7 @@ StatusOr<std::unique_ptr<ParallelTable>> StoreResult(QueryCoordinator* coord,
         sim::NodeClock* clock = cluster->node(n).clock();
         staged[n].reserve(input[n].size());
         for (size_t i = 0; i < input[n].size(); ++i) {
-          int dest = static_cast<int>((offset[n] + i) % N);
+          int dest = alive_ids[(offset[n] + i) % A];
           clock->ChargeCpu(sim::cpu_cost::kTupleOverhead);
           staged[n].emplace_back(dest, input[n][i]);
         }
@@ -622,11 +640,12 @@ StatusOr<std::unique_ptr<ParallelTable>> StoreResult(QueryCoordinator* coord,
         return Status::OK();
       }));
 
-  // Flattened round-robin placement balances fragments to within one.
+  // Flattened round-robin placement balances the alive fragments to
+  // within one.
   size_t min_frag = SIZE_MAX, max_frag = 0;
-  for (const TupleVec& v : placed) {
-    min_frag = std::min(min_frag, v.size());
-    max_frag = std::max(max_frag, v.size());
+  for (int d : alive_ids) {
+    min_frag = std::min(min_frag, placed[d].size());
+    max_frag = std::max(max_frag, placed[d].size());
   }
   PARADISE_DCHECK(max_frag - min_frag <= 1);
 

@@ -428,7 +428,7 @@ std::string Query::Explain() const {
 
 StatusOr<TupleVec> Query::Run(QueryCoordinator* coord) && {
   if (table_ == nullptr) return Status::FailedPrecondition("no table");
-  coord->BeginQuery();
+  PARADISE_RETURN_IF_ERROR(coord->BeginQuery());
 
   AccessPath path = ChooseAccessPath();
   PARADISE_ASSIGN_OR_RETURN(PerNode rows, ExecuteAccess(coord, path));

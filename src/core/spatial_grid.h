@@ -43,11 +43,40 @@ class SpatialGrid {
     return cy * tiles_per_axis_ + cx;
   }
 
-  /// Node owning a tile: hash on the tile number.
+  /// Node owning a tile: hash on the tile number. Tiles whose hashed
+  /// owner has been marked dead are rehashed over the survivors, so a
+  /// dead node's tiles spread across all remaining nodes deterministically
+  /// (the survivor redistribution scheme used after a permanent loss).
   uint32_t NodeOfTile(uint32_t tile) const {
+    uint32_t n = BaseNodeOfTile(tile);
+    if (alive_nodes_.empty() || !dead_[n]) return n;
+    // Use independent hash bits for the secondary placement so the
+    // reassigned tiles do not all land on one survivor.
+    uint64_t h = (tile + 0x51ed270b) * 0xbf58476d1ce4e5b9ULL;
+    return alive_nodes_[(h >> 32) % alive_nodes_.size()];
+  }
+
+  /// The pre-failure owner of a tile (ignores dead-node remapping).
+  uint32_t BaseNodeOfTile(uint32_t tile) const {
     // Fibonacci hashing spreads consecutive tiles across nodes.
     uint64_t h = tile * 0x9e3779b97f4a7c15ULL;
     return static_cast<uint32_t>((h >> 32) % num_nodes_);
+  }
+
+  /// Marks a node dead: every tile it owned is remapped over survivors.
+  void MarkNodeDead(uint32_t node) {
+    if (dead_.empty()) dead_.assign(num_nodes_, 0);
+    PARADISE_CHECK(node < num_nodes_);
+    dead_[node] = 1;
+    alive_nodes_.clear();
+    for (uint32_t n = 0; n < num_nodes_; ++n) {
+      if (!dead_[n]) alive_nodes_.push_back(n);
+    }
+    PARADISE_CHECK_MSG(!alive_nodes_.empty(), "all grid nodes dead");
+  }
+
+  bool node_dead(uint32_t node) const {
+    return !dead_.empty() && dead_[node] != 0;
   }
 
   uint32_t NodeOfPoint(const geom::Point& p) const {
@@ -128,6 +157,8 @@ class SpatialGrid {
   geom::Box universe_;
   uint32_t tiles_per_axis_ = 1;
   uint32_t num_nodes_ = 1;
+  std::vector<uint8_t> dead_;           // empty until a node dies
+  std::vector<uint32_t> alive_nodes_;  // ascending; empty until a node dies
 };
 
 }  // namespace paradise::core

@@ -1,6 +1,14 @@
 #include "core/table.h"
 
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "array/chunked_array.h"
+#include "array/raster.h"
 #include "common/logging.h"
+#include "core/pull.h"
 #include "sim/cost_model.h"
 
 namespace paradise::core {
@@ -26,6 +34,13 @@ Tuple DecodeRow(const ByteBuffer& record, bool* primary) {
   ByteReader r(record);
   *primary = r.GetU8() != 0;
   return Tuple::Deserialize(&r);
+}
+
+/// Content key of a stored record: the serialized tuple without the
+/// primary flag, so a primary copy and its replicas compare equal.
+std::string RecordKey(const ByteBuffer& record) {
+  PARADISE_CHECK(!record.empty());
+  return std::string(record.begin() + 1, record.end());
 }
 
 }  // namespace
@@ -56,7 +71,11 @@ StatusOr<std::unique_ptr<ParallelTable>> ParallelTable::Load(
         next_file_id_++, cluster->node(n).pool(),
         cluster->node(n).data_volume(n % cluster->node(n).num_data_volumes())
             ->volume_id(),
-        /*log=*/nullptr);
+        cluster->node(n).log());
+    // Registering with the node's transaction manager makes the fragment
+    // recoverable after a crash (bulk-load inserts pass a null txn and
+    // stay unlogged; only transactional updates hit the WAL).
+    cluster->node(n).txn_manager()->RegisterFile(frag->file.get());
     table->fragments_.push_back(std::move(frag));
   }
 
@@ -185,6 +204,225 @@ StatusOr<TupleVec> ParallelTable::ScanFragment(Cluster* cluster, int node,
     out.push_back(std::move(t));
   }
   return out;
+}
+
+namespace {
+
+/// Deep-copies a raster's tiles to `dest_node` (pull from the owner:
+/// owner read + both links + destination write, all charged).
+StatusOr<array::Raster> CopyRasterToNode(Cluster* cluster, int dest_node,
+                                         const array::Raster& raster) {
+  PullTileSource pull(cluster, static_cast<uint32_t>(dest_node));
+  PARADISE_ASSIGN_OR_RETURN(ByteBuffer data,
+                            array::ReadFull(raster.handle, &pull));
+  Node& dest = cluster->node(dest_node);
+  array::Raster copy;
+  copy.geo = raster.geo;
+  PARADISE_ASSIGN_OR_RETURN(
+      copy.handle,
+      array::StoreArray(data.data(), raster.handle.dims,
+                        raster.handle.elem_size, dest.lob_store(),
+                        dest.clock(), /*compress=*/true,
+                        array::kDefaultTileBytes,
+                        static_cast<uint32_t>(dest_node)));
+  return copy;
+}
+
+}  // namespace
+
+Status ParallelTable::RedeclusterAfterLoss(Cluster* cluster, int dead_node) {
+  PARADISE_CHECK_MSG(!cluster->alive(dead_node),
+                     "redecluster target must be marked dead first");
+  Fragment& dead = *fragments_[dead_node];
+  sim::NodeClock* dead_clock = cluster->node(dead_node).clock();
+  const std::vector<int> survivors = cluster->alive_node_ids();
+  PARADISE_CHECK(!survivors.empty());
+
+  const bool spatial =
+      def_.partitioning == catalog::PartitioningKind::kSpatial;
+  if (spatial && !grid_.node_dead(static_cast<uint32_t>(dead_node))) {
+    grid_.MarkNodeDead(static_cast<uint32_t>(dead_node));
+  }
+
+  // 1. Salvage: sequentially read the dead fragment off its surviving
+  //    disks (the node is gone; its disks are not), charging the salvage
+  //    station's clock.
+  struct Salvaged {
+    Tuple tuple;
+    ByteBuffer record;
+    bool primary = false;
+  };
+  std::vector<Salvaged> salvaged;
+  salvaged.reserve(dead.oids.size());
+  {
+    auto it = dead.file->NewIterator();
+    storage::Oid oid;
+    ByteBuffer record;
+    while (it.Next(&oid, &record)) {
+      dead_clock->ChargeCpu(sim::cpu_cost::kTupleOverhead +
+                            sim::cpu_cost::kPerByteCopied *
+                                static_cast<double>(record.size()));
+      Salvaged s;
+      s.tuple = DecodeRow(record, &s.primary);
+      s.record = std::move(record);
+      salvaged.push_back(std::move(s));
+    }
+  }
+
+  // 2. For spatially declustered tables, survivors that already hold a
+  //    replica must keep it instead of storing a duplicate. Build each
+  //    survivor's content map once (a fragment read — part of the honest
+  //    integration cost).
+  std::unordered_map<int, std::unordered_map<std::string,
+                                             std::vector<uint64_t>>>
+      survivor_contents;
+  if (spatial && !salvaged.empty()) {
+    for (int d : survivors) {
+      Fragment& frag = *fragments_[d];
+      sim::NodeClock* clock = cluster->node(d).clock();
+      auto& contents = survivor_contents[d];
+      contents.reserve(frag.oids.size());
+      for (uint64_t r = 0; r < frag.oids.size(); ++r) {
+        PARADISE_ASSIGN_OR_RETURN(ByteBuffer rec,
+                                  frag.file->Get(frag.oids[r]));
+        clock->ChargeCpu(sim::cpu_cost::kTupleOverhead +
+                         sim::cpu_cost::kHash);
+        contents[RecordKey(rec)].push_back(r);
+      }
+    }
+  }
+
+  // Appends `record` (whose tuple is `row`) to survivor `d`'s fragment
+  // and maintains its local indexes.
+  auto insert_row = [&](int d, const Tuple& row,
+                        const ByteBuffer& record) -> Status {
+    Fragment& frag = *fragments_[d];
+    PARADISE_ASSIGN_OR_RETURN(storage::Oid oid,
+                              frag.file->Insert(nullptr, record));
+    frag.oids.push_back(oid);
+    frag.primary.push_back(record[0]);
+    const uint64_t r = frag.oids.size() - 1;
+    sim::NodeClock* clock = cluster->node(d).clock();
+    clock->ChargeCpu(sim::cpu_cost::kTupleOverhead +
+                     sim::cpu_cost::kPerByteCopied *
+                         static_cast<double>(record.size()));
+    for (const catalog::IndexDef& idx : def_.indexes) {
+      clock->ChargeCpu(sim::cpu_cost::kIndexProbe);
+      if (idx.spatial) {
+        if (frag.rtree == nullptr) {
+          frag.rtree = std::make_unique<index::RStarTree>();
+        }
+        frag.rtree->Insert(row.at(idx.column).Mbr(), r);
+      } else {
+        ValueType t = def_.schema.column(idx.column).type;
+        if (t == ValueType::kString) {
+          frag.string_indexes[idx.column].Insert(
+              row.at(idx.column).AsString(), r);
+        } else {
+          const Value& v = row.at(idx.column);
+          int64_t key = t == ValueType::kInt
+                            ? v.AsInt()
+                            : v.AsDate().days_since_epoch();
+          frag.int_indexes[idx.column].Insert(key, r);
+        }
+      }
+    }
+    return Status::OK();
+  };
+
+  // 3. Route every salvaged row to its post-loss owners.
+  std::unordered_map<int, int64_t> shipped_bytes;
+  size_t stripe = 0;  // round-robin cursor over survivors
+  for (Salvaged& s : salvaged) {
+    std::vector<uint32_t> dests;
+    uint32_t primary_node = 0;
+    if (spatial) {
+      geom::Box mbr = s.tuple.at(def_.partition_column).Mbr();
+      // The new owners of the dead node's tiles that this row overlapped.
+      for (uint32_t t : grid_.TilesOfBox(mbr)) {
+        if (grid_.BaseNodeOfTile(t) == static_cast<uint32_t>(dead_node)) {
+          dests.push_back(grid_.NodeOfTile(t));
+        }
+      }
+      std::sort(dests.begin(), dests.end());
+      dests.erase(std::unique(dests.begin(), dests.end()), dests.end());
+      primary_node = grid_.PrimaryNode(mbr);
+    } else {
+      // Round-robin and hash tables stripe the lost rows over survivors
+      // (the original hash function maps to the dead node).
+      dests.push_back(
+          static_cast<uint32_t>(survivors[stripe++ % survivors.size()]));
+      primary_node = dests[0];
+    }
+
+    for (uint32_t dest : dests) {
+      const int d = static_cast<int>(dest);
+      const bool make_primary = s.primary && dest == primary_node;
+      if (spatial) {
+        auto contents_it = survivor_contents.find(d);
+        if (contents_it != survivor_contents.end()) {
+          auto match = contents_it->second.find(RecordKey(s.record));
+          if (match != contents_it->second.end() &&
+              !match->second.empty()) {
+            // The survivor already holds a replica; consume it and, when
+            // the dead node held the primary copy, promote it in place.
+            uint64_t r = match->second.back();
+            match->second.pop_back();
+            if (make_primary) {
+              Fragment& frag = *fragments_[d];
+              ByteBuffer promoted = s.record;
+              promoted[0] = 1;
+              PARADISE_RETURN_IF_ERROR(
+                  frag.file->Update(nullptr, frag.oids[r], promoted));
+              frag.primary[r] = 1;
+              cluster->node(d).clock()->ChargeCpu(
+                  sim::cpu_cost::kTupleOverhead);
+            }
+            continue;
+          }
+        }
+      }
+      Tuple row = s.tuple;  // shallow copy; rasters deep-copied below
+      ByteBuffer record;
+      bool reencode = false;
+      for (Value& v : row.values) {
+        if (v.type() == ValueType::kRaster) {
+          PARADISE_ASSIGN_OR_RETURN(
+              array::Raster moved, CopyRasterToNode(cluster, d, *v.AsRaster()));
+          v = Value(std::move(moved));
+          reencode = true;
+        }
+      }
+      if (reencode) {
+        record = EncodeRow(row, make_primary);
+      } else {
+        record = s.record;
+        record[0] = make_primary ? 1 : 0;
+      }
+      shipped_bytes[d] += static_cast<int64_t>(record.size());
+      PARADISE_RETURN_IF_ERROR(insert_row(d, row, record));
+    }
+  }
+
+  // Ship the shallow tuple bytes over the salvage station's link, batched
+  // per destination (raster tiles were charged by the pull copies).
+  for (const auto& [d, bytes] : shipped_bytes) {
+    cluster->ChargeTransfer(static_cast<uint32_t>(dead_node),
+                            static_cast<uint32_t>(d), bytes);
+  }
+
+  // 4. Decommission the dead fragment so nothing can double-read it. The
+  //    heap file object stays alive (it is registered with the node's
+  //    transaction manager) but holds no records.
+  for (const storage::Oid& oid : dead.oids) {
+    PARADISE_RETURN_IF_ERROR(dead.file->Delete(nullptr, oid));
+  }
+  dead.oids.clear();
+  dead.primary.clear();
+  dead.rtree.reset();
+  dead.string_indexes.clear();
+  dead.int_indexes.clear();
+  return Status::OK();
 }
 
 StatusOr<Tuple> ParallelTable::FetchRow(Cluster* cluster, int node,

@@ -48,6 +48,26 @@ class ParallelTable {
       uint32_t tiles_per_axis = SpatialGrid::kDefaultTilesPerAxis,
       const std::vector<uint32_t>* explicit_owners = nullptr);
 
+  /// Degraded-mode repair after a permanent node loss (the node must
+  /// already be dead in `cluster`): salvages the dead node's fragment off
+  /// its surviving disks and redistributes the rows over the alive nodes
+  /// so every query answer stays complete at N−1.
+  ///
+  ///  - Round-robin / hash tables stripe the salvaged rows over the
+  ///    survivors; raster attributes are deep-copied to the new owner.
+  ///  - Spatially declustered tables remap the dead node's grid tiles
+  ///    over the survivors (SpatialGrid::MarkNodeDead) and ship each
+  ///    salvaged row to the new owners of its overlapped remapped tiles.
+  ///    A survivor that already holds a replica keeps it (promoted to
+  ///    primary when the dead node held the primary copy) instead of
+  ///    storing a duplicate.
+  ///
+  /// All salvage reads, inserts, index maintenance, and transfers are
+  /// charged to the virtual clocks — the honest cost of degraded mode.
+  /// Single-threaded; call between phases (the coordinator's node-loss
+  /// handler does).
+  Status RedeclusterAfterLoss(Cluster* cluster, int dead_node);
+
   const catalog::TableDef& def() const { return def_; }
   const SpatialGrid& grid() const { return grid_; }
   int num_fragments() const { return static_cast<int>(fragments_.size()); }

@@ -16,6 +16,7 @@ struct ResourceUsage {
   int64_t net_messages = 0;        // point-to-point messages
   int64_t net_bytes = 0;           // bytes sent on this node's link
   double cpu_ops = 0.0;            // elementary CPU operations
+  double idle_seconds = 0.0;       // modeled waiting: backoff, timeouts
 
   void Add(const ResourceUsage& other) {
     disk_seeks += other.disk_seeks;
@@ -24,6 +25,7 @@ struct ResourceUsage {
     net_messages += other.net_messages;
     net_bytes += other.net_bytes;
     cpu_ops += other.cpu_ops;
+    idle_seconds += other.idle_seconds;
   }
 
   void Clear() { *this = ResourceUsage(); }
@@ -58,7 +60,7 @@ struct CostModel {
         static_cast<double>(u.net_messages) * net_message_latency_seconds +
         static_cast<double>(u.net_bytes) / net_bytes_per_second;
     double cpu = u.cpu_ops / cpu_ops_per_second;
-    return disk + net + cpu;
+    return disk + net + cpu + u.idle_seconds;
   }
 };
 

@@ -41,6 +41,12 @@ class NodeClock {
     std::lock_guard<std::mutex> g(mu_);
     phase_.cpu_ops += ops;
   }
+  /// Modeled wall-clock waiting with no resource consumption: retry
+  /// backoff, retransmit timeouts, failure-detection timeouts.
+  void ChargeIdle(double seconds) {
+    std::lock_guard<std::mutex> g(mu_);
+    phase_.idle_seconds += seconds;
+  }
 
   /// Ends the current phase: folds phase usage into the total and returns
   /// the phase usage (the coordinator takes max-over-nodes of its seconds).

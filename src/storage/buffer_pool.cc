@@ -114,7 +114,8 @@ StatusOr<PageGuard> BufferPool::Pin(PageId id) {
   }
   PARADISE_ASSIGN_OR_RETURN(size_t idx, FindVictimLocked());
   Frame& f = *frames_[idx];
-  PARADISE_RETURN_IF_ERROR(volume_it->second->ReadPage(id.page_no, &f.page));
+  PARADISE_RETURN_IF_ERROR(
+      ReadPageVerifiedLocked(volume_it->second, id.page_no, &f.page));
   f.id = id;
   f.pin_count = 1;
   f.dirty = false;
@@ -122,6 +123,34 @@ StatusOr<PageGuard> BufferPool::Pin(PageId id) {
   f.in_lru = false;
   table_[id] = idx;
   return PageGuard(this, idx, &f.page, id);
+}
+
+Status BufferPool::ReadPageVerifiedLocked(DiskVolume* volume, PageNo page_no,
+                                          Page* out) {
+  Status last = Status::OK();
+  for (int attempt = 0; attempt < retry_policy_.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      // Exponential backoff before each retry, as modeled time on the
+      // volume's clock — never a host sleep, so faulted runs stay
+      // deterministic across thread counts.
+      if (volume->clock() != nullptr) {
+        volume->clock()->ChargeIdle(retry_policy_.BackoffSeconds(attempt - 1));
+      }
+      ++stats_.read_retries;
+    }
+    Status st = volume->ReadPage(page_no, out);
+    if (st.ok()) {
+      if (out->VerifyChecksum()) return Status::OK();
+      ++stats_.checksum_failures;
+      last = Status::Corruption("page checksum mismatch on volume " +
+                                std::to_string(volume->volume_id()) +
+                                " page " + std::to_string(page_no));
+      continue;  // torn transfer: the durable copy may still be good
+    }
+    if (st.code() != StatusCode::kUnavailable) return st;  // not transient
+    last = std::move(st);
+  }
+  return last;
 }
 
 StatusOr<PageGuard> BufferPool::NewPage(uint32_t volume) {

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "sim/fault_injector.h"
 #include "storage/disk_volume.h"
 #include "storage/page.h"
 
@@ -56,7 +57,18 @@ class BufferPool {
 
   void AttachVolume(DiskVolume* volume);
 
-  /// Pins the page, reading it from its volume on a miss.
+  /// Retry policy for transient read errors and checksum mismatches on the
+  /// miss path. Each retry charges exponential backoff to the volume's
+  /// clock as modeled idle time.
+  void set_retry_policy(const sim::RetryPolicy& policy) {
+    std::lock_guard<std::mutex> g(mu_);
+    retry_policy_ = policy;
+  }
+
+  /// Pins the page, reading it from its volume on a miss. Every fetched
+  /// page's checksum is verified; a mismatch is retried (torn transfer)
+  /// and, if it persists, surfaces as kCorruption rather than a silent
+  /// wrong answer.
   StatusOr<PageGuard> Pin(PageId id);
 
   /// Allocates a fresh page on `volume` and pins it (no disk read).
@@ -77,6 +89,8 @@ class BufferPool {
     int64_t misses = 0;
     int64_t evictions = 0;
     int64_t dirty_writebacks = 0;
+    int64_t read_retries = 0;       // re-reads after a transient error
+    int64_t checksum_failures = 0;  // fetches that failed verification
   };
   Stats stats() const;
 
@@ -98,9 +112,11 @@ class BufferPool {
   void Unpin(size_t frame_index);
   void MarkDirtyFrame(size_t frame_index);
 
-  // Both require mu_ held.
+  // All three require mu_ held.
   StatusOr<size_t> FindVictimLocked();
   Status EvictLocked(size_t frame_index);
+  Status ReadPageVerifiedLocked(DiskVolume* volume, PageNo page_no,
+                                Page* out);
 
   const size_t capacity_;
 
@@ -111,6 +127,7 @@ class BufferPool {
   std::list<size_t> lru_;  // front = least recently used
   std::unordered_map<uint32_t, DiskVolume*> volumes_;
   Stats stats_;
+  sim::RetryPolicy retry_policy_;
 };
 
 }  // namespace paradise::storage

@@ -53,7 +53,26 @@ Status DiskVolume::ReadPage(PageNo page_no, Page* out) {
     return Status::OutOfRange("read past end of volume");
   }
   ChargeAccess(page_no, /*is_write=*/false);
+  sim::DiskFaultKind fault = sim::DiskFaultKind::kNone;
+  if (fault_injector_ != nullptr) {
+    fault = fault_injector_->OnDiskRead(fault_node_id_, volume_id_, page_no,
+                                        read_ordinals_[page_no]++);
+  }
+  if (fault == sim::DiskFaultKind::kTransientError) {
+    // The arm charged for the access but the controller reported failure.
+    return Status::Unavailable("injected transient disk read error");
+  }
   *out = *pages_[page_no];
+  if (fault == sim::DiskFaultKind::kTornRead) {
+    // Corrupt only the returned copy: flip a payload run and garble the
+    // checksum word so verification cannot pass even on a fresh page.
+    // The durable medium stays intact, so a retried read succeeds.
+    for (size_t i = Page::kHeaderSize; i < Page::kHeaderSize + 64; ++i) {
+      out->data()[i] ^= 0xff;
+    }
+    out->set_stored_checksum(out->stored_checksum() ^ 0xdeadbeefu);
+    if (out->stored_checksum() == 0) out->set_stored_checksum(0xdeadbeefu);
+  }
   return Status::OK();
 }
 
@@ -64,7 +83,16 @@ Status DiskVolume::WritePage(PageNo page_no, const Page& page) {
   }
   ChargeAccess(page_no, /*is_write=*/true);
   *pages_[page_no] = page;
+  pages_[page_no]->StampChecksum();
   return Status::OK();
+}
+
+void DiskVolume::SetFaultInjector(sim::FaultInjector* injector,
+                                  uint32_t node_id) {
+  std::lock_guard<std::mutex> g(mu_);
+  fault_injector_ = injector;
+  fault_node_id_ = node_id;
+  read_ordinals_.clear();
 }
 
 uint32_t DiskVolume::num_pages() const {

@@ -4,9 +4,11 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
+#include "sim/fault_injector.h"
 #include "sim/node_clock.h"
 #include "storage/page.h"
 
@@ -37,7 +39,13 @@ class DiskVolume {
 
   void FreePage(PageNo page_no);
 
+  /// Reads a page. With a fault injector wired, the read may fail with
+  /// kUnavailable (transient error — charged, retryable) or return torn
+  /// bytes (corruption confined to `out`; the durable medium is intact, so
+  /// a retry after checksum detection succeeds).
   Status ReadPage(PageNo page_no, Page* out);
+
+  /// Writes a page, stamping the durable copy's checksum.
   Status WritePage(PageNo page_no, const Page& page);
 
   uint32_t num_pages() const;
@@ -46,6 +54,10 @@ class DiskVolume {
   uint32_t allocated_pages() const;
 
   sim::NodeClock* clock() const { return clock_; }
+
+  /// Wires a fault injector; `node_id` keys this volume's fault decisions.
+  /// Pass nullptr to unwire.
+  void SetFaultInjector(sim::FaultInjector* injector, uint32_t node_id);
 
  private:
   void ChargeAccess(PageNo page_no, bool is_write);
@@ -58,6 +70,12 @@ class DiskVolume {
   std::vector<PageNo> free_list_;
   PageNo last_accessed_ = kInvalidPageNo;
   int64_t freed_count_ = 0;
+
+  // Fault injection state (all under mu_). The per-page read ordinal makes
+  // fault decisions a pure function of access history, not thread schedule.
+  sim::FaultInjector* fault_injector_ = nullptr;
+  uint32_t fault_node_id_ = 0;
+  std::unordered_map<PageNo, int64_t> read_ordinals_;
 };
 
 }  // namespace paradise::storage

@@ -33,8 +33,11 @@ struct PageIdHash {
 };
 
 /// Raw page frame. Interpretation (slotted page, index node, LOB data) is
-/// up to the layer using it; the first 8 bytes are reserved for the page
-/// LSN used by recovery.
+/// up to the layer using it. Header layout: bytes [0, 8) hold the page LSN
+/// used by recovery, bytes [8, 12) a checksum stamped by the volume on
+/// write and verified by the buffer pool on fetch, bytes [12, 16) pad the
+/// payload to 8-byte alignment. A stored checksum of 0 means "never
+/// stamped" (a fresh page), so reads of unwritten pages always verify.
 class Page {
  public:
   Page() { data_.fill(0); }
@@ -49,8 +52,39 @@ class Page {
   }
   void set_lsn(uint64_t lsn) { std::memcpy(data_.data(), &lsn, sizeof(lsn)); }
 
-  /// Payload area after the LSN word.
-  static constexpr size_t kHeaderSize = 8;
+  uint32_t stored_checksum() const {
+    uint32_t v;
+    std::memcpy(&v, data_.data() + kChecksumOffset, sizeof(v));
+    return v;
+  }
+  void set_stored_checksum(uint32_t sum) {
+    std::memcpy(data_.data() + kChecksumOffset, &sum, sizeof(sum));
+  }
+
+  /// FNV-1a over the LSN and payload (the checksum word and pad are
+  /// excluded). Never returns 0: the computed value 0 maps to 1 so that 0
+  /// stays reserved for "never stamped".
+  uint32_t ComputeChecksum() const {
+    uint32_t h = 2166136261u;
+    auto fold = [&h](const uint8_t* p, size_t n) {
+      for (size_t i = 0; i < n; ++i) h = (h ^ p[i]) * 16777619u;
+    };
+    fold(data_.data(), kChecksumOffset);
+    fold(data_.data() + kHeaderSize, kPayloadSize);
+    return h == 0 ? 1 : h;
+  }
+
+  void StampChecksum() { set_stored_checksum(ComputeChecksum()); }
+
+  /// True iff the page was never stamped or its contents match the stamp.
+  bool VerifyChecksum() const {
+    uint32_t stored = stored_checksum();
+    return stored == 0 || stored == ComputeChecksum();
+  }
+
+  /// Payload area after the header (LSN + checksum + pad).
+  static constexpr size_t kChecksumOffset = 8;
+  static constexpr size_t kHeaderSize = 16;
   static constexpr size_t kPayloadSize = kPageSize - kHeaderSize;
   uint8_t* payload() { return data_.data() + kHeaderSize; }
   const uint8_t* payload() const { return data_.data() + kHeaderSize; }

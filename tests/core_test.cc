@@ -202,7 +202,7 @@ TEST_P(ParallelEquivalenceTest, SpatialSelectMatchesSerial) {
     auto table = ParallelTable::Load(&cluster, def, rows, 20);
     EXPECT_TRUE(table.ok());
     QueryCoordinator coord(&cluster);
-    coord.BeginQuery();
+    EXPECT_TRUE(coord.BeginQuery().ok());
     auto per = ParallelSpatialIndexSelect(&coord, **table, query.Mbr(), exact);
     EXPECT_TRUE(per.ok());
     auto gathered = Gather(&coord, *per);
@@ -233,7 +233,7 @@ TEST_P(ParallelEquivalenceTest, SpatialJoinMatchesSerialNestedLoops) {
 
   Cluster cluster(N, SmallClusterOptions());
   QueryCoordinator coord(&cluster);
-  coord.BeginQuery();
+  EXPECT_TRUE(coord.BeginQuery().ok());
   // Inputs start round-robin placed (arbitrary initial placement).
   PerNode lper(N), rper(N);
   for (size_t i = 0; i < left.size(); ++i) lper[i % N].push_back(left[i]);
@@ -263,7 +263,7 @@ TEST_P(ParallelEquivalenceTest, AggregateMatchesSerial) {
   auto run = [&](int nodes) {
     Cluster cluster(nodes, SmallClusterOptions());
     QueryCoordinator coord(&cluster);
-    coord.BeginQuery();
+    EXPECT_TRUE(coord.BeginQuery().ok());
     PerNode per(nodes);
     for (size_t i = 0; i < rows.size(); ++i) {
       per[i % static_cast<size_t>(nodes)].push_back(rows[i]);
@@ -308,7 +308,7 @@ TEST_P(ParallelEquivalenceTest, ClosestJoinMatchesBruteForce) {
 
   Cluster cluster(N, SmallClusterOptions());
   QueryCoordinator coord(&cluster);
-  coord.BeginQuery();
+  EXPECT_TRUE(coord.BeginQuery().ok());
   PerNode pper(N), fper(N);
   for (size_t i = 0; i < points.size(); ++i) pper[i % N].push_back(points[i]);
   for (size_t i = 0; i < features.size(); ++i) {
@@ -348,7 +348,7 @@ INSTANTIATE_TEST_SUITE_P(NodeCounts, ParallelEquivalenceTest,
 TEST(RedistributeTest, RoutesAndChargesNetwork) {
   Cluster cluster(4, SmallClusterOptions());
   QueryCoordinator coord(&cluster);
-  coord.BeginQuery();
+  EXPECT_TRUE(coord.BeginQuery().ok());
   PerNode input(4);
   for (int64_t i = 0; i < 100; ++i) {
     input[static_cast<size_t>(i % 4)].push_back(Tuple({Value(i)}));
@@ -414,7 +414,7 @@ TEST(PullTest, LocalReadIsFree) {
 TEST(CoordinatorTest, PhaseTimeIsMaxOverNodes) {
   Cluster cluster(4, SmallClusterOptions());
   QueryCoordinator coord(&cluster);
-  coord.BeginQuery();
+  EXPECT_TRUE(coord.BeginQuery().ok());
   ASSERT_TRUE(coord.RunPhase("skewed", [&](int n) -> Status {
                      // Node 3 does 4x the work of the others.
                      double ops = (n == 3) ? 4e6 : 1e6;
@@ -432,7 +432,7 @@ TEST(CoordinatorTest, PhaseTimeIsMaxOverNodes) {
 TEST(CoordinatorTest, SequentialAddsFully) {
   Cluster cluster(4, SmallClusterOptions());
   QueryCoordinator coord(&cluster);
-  coord.BeginQuery();
+  EXPECT_TRUE(coord.BeginQuery().ok());
   ASSERT_TRUE(coord.RunSequential("seq", [&]() -> Status {
                      cluster.coordinator_clock()->ChargeCpu(9e6);
                      return Status::OK();
@@ -447,7 +447,7 @@ TEST(CoordinatorTest, SequentialAddsFully) {
 TEST(StoreResultTest, CopiesTuplesIntoNewTable) {
   Cluster cluster(3, SmallClusterOptions());
   QueryCoordinator coord(&cluster);
-  coord.BeginQuery();
+  EXPECT_TRUE(coord.BeginQuery().ok());
   PerNode input(3);
   Rng rng(19);
   TupleVec rows = RandomPolyTuples(&rng, 30, 20, 2);
@@ -474,7 +474,7 @@ TEST(StoreResultTest, DeepCopiesRasterToDestination) {
                                   cluster.node(1).clock(), 8192, 1);
   ASSERT_TRUE(raster.ok());
   QueryCoordinator coord(&cluster);
-  coord.BeginQuery();
+  EXPECT_TRUE(coord.BeginQuery().ok());
   PerNode input(2);
   input[0].push_back(Tuple({Value(*raster)}));
   TableDef def;

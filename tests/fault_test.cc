@@ -1,0 +1,574 @@
+// Fault injection, failure recovery, and degraded-mode execution.
+//
+// Covers the failure semantics contract end to end: checksum detection of
+// torn pages, bounded retry with modeled backoff, WAL rollback of loser
+// transactions after a mid-query crash, honestly-charged transfer faults,
+// and the acceptance schedule — a seeded run with disk errors, corrupt
+// pages, and a node crash against Queries 2 and 5 that still delivers
+// correct rows, bit-identical modeled time at 1 and 8 threads, and a
+// degraded N−1 completion that costs more than the fault-free run.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "benchmark/database.h"
+#include "benchmark/queries.h"
+#include "common/bytes.h"
+#include "common/status.h"
+#include "core/cluster.h"
+#include "core/coordinator.h"
+#include "core/table.h"
+#include "datagen/datagen.h"
+#include "sim/cost_model.h"
+#include "sim/fault_injector.h"
+#include "sim/node_clock.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_volume.h"
+#include "storage/page.h"
+#include "storage/recovery.h"
+#include "storage/transaction.h"
+
+namespace paradise {
+namespace {
+
+using catalog::PartitioningKind;
+using catalog::TableDef;
+using core::Cluster;
+using core::ParallelTable;
+using core::QueryCoordinator;
+using exec::Tuple;
+using exec::TupleVec;
+using exec::Value;
+using exec::ValueType;
+using sim::DiskFaultKind;
+using sim::FaultInjector;
+using sim::RetryPolicy;
+using storage::BufferPool;
+using storage::DiskVolume;
+using storage::Page;
+using storage::PageId;
+using storage::PageNo;
+
+// ---------- Storage-level fault handling ----------
+
+/// One volume + pool with a durable page whose payload is known; the pool
+/// is then emptied so the next Pin must fetch from "disk".
+struct VolumeFixture {
+  sim::NodeClock clock;
+  DiskVolume volume;
+  BufferPool pool;
+  PageNo page_no = storage::kInvalidPageNo;
+
+  VolumeFixture() : volume(/*volume_id=*/7, &clock), pool(8) {
+    pool.AttachVolume(&volume);
+    page_no = volume.AllocatePage();
+    auto guard = pool.Pin(PageId{7, page_no});
+    EXPECT_TRUE(guard.ok());
+    for (size_t i = 0; i < Page::kPayloadSize; ++i) {
+      guard->page()->payload()[i] = static_cast<uint8_t>(i * 31 + 5);
+    }
+    guard->MarkDirty();
+    guard->Release();
+    EXPECT_TRUE(pool.FlushAll().ok());
+    pool.DiscardAll();
+    clock.Reset();
+  }
+
+  bool PayloadIntact() {
+    auto guard = pool.Pin(PageId{7, page_no});
+    if (!guard.ok()) return false;
+    for (size_t i = 0; i < Page::kPayloadSize; ++i) {
+      if (guard->page()->payload()[i] != static_cast<uint8_t>(i * 31 + 5)) {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+TEST(ChecksumTest, TornReadDetectedAndHealedByRetry) {
+  VolumeFixture fx;
+  FaultInjector inj(/*seed=*/1);
+  // First read of the page returns torn bytes; the retry reads clean.
+  inj.InjectDiskFault(/*node=*/3, /*volume=*/7, fx.page_no, /*ordinal=*/0,
+                      DiskFaultKind::kTornRead);
+  fx.volume.SetFaultInjector(&inj, /*node_id=*/3);
+
+  EXPECT_TRUE(fx.PayloadIntact());
+  const BufferPool::Stats stats = fx.pool.stats();
+  EXPECT_EQ(stats.checksum_failures, 1);
+  EXPECT_EQ(stats.read_retries, 1);
+  EXPECT_EQ(inj.stats().torn_read_faults, 1);
+  // The retry waited out one modeled backoff; nothing slept for real.
+  RetryPolicy policy;
+  EXPECT_EQ(fx.clock.phase_usage().idle_seconds, policy.BackoffSeconds(0));
+}
+
+TEST(ChecksumTest, PersistentCorruptionSurfacesNotSilentWrongAnswer) {
+  VolumeFixture fx;
+  FaultInjector inj(/*seed=*/2);
+  inj.set_torn_read_rate(1.0);  // every read of every page is torn
+  fx.volume.SetFaultInjector(&inj, /*node_id=*/3);
+
+  auto guard = fx.pool.Pin(PageId{7, fx.page_no});
+  ASSERT_FALSE(guard.ok());
+  EXPECT_EQ(guard.status().code(), StatusCode::kCorruption);
+  RetryPolicy policy;
+  EXPECT_EQ(fx.pool.stats().checksum_failures, policy.max_attempts);
+}
+
+TEST(RetryTest, TransientErrorsRetriedWithExponentialBackoff) {
+  VolumeFixture fx;
+  FaultInjector inj(/*seed=*/3);
+  // Three consecutive transient errors, then success on the 4th attempt
+  // (the last allowed by the default policy).
+  for (int64_t ordinal = 0; ordinal < 3; ++ordinal) {
+    inj.InjectDiskFault(3, 7, fx.page_no, ordinal,
+                        DiskFaultKind::kTransientError);
+  }
+  fx.volume.SetFaultInjector(&inj, /*node_id=*/3);
+
+  EXPECT_TRUE(fx.PayloadIntact());
+  EXPECT_EQ(fx.pool.stats().read_retries, 3);
+  EXPECT_EQ(inj.stats().transient_read_faults, 3);
+  // Backoff doubles per retry: 2ms + 4ms + 8ms of modeled idle time.
+  RetryPolicy policy;
+  const double want = policy.BackoffSeconds(0) + policy.BackoffSeconds(1) +
+                      policy.BackoffSeconds(2);
+  EXPECT_EQ(fx.clock.phase_usage().idle_seconds, want);
+}
+
+TEST(RetryTest, AttemptsAreBoundedThenUnavailableSurfaces) {
+  VolumeFixture fx;
+  FaultInjector inj(/*seed=*/4);
+  inj.set_transient_read_rate(1.0);  // the disk never comes back
+  fx.volume.SetFaultInjector(&inj, /*node_id=*/3);
+
+  auto guard = fx.pool.Pin(PageId{7, fx.page_no});
+  ASSERT_FALSE(guard.ok());
+  EXPECT_EQ(guard.status().code(), StatusCode::kUnavailable);
+  RetryPolicy policy;
+  EXPECT_EQ(fx.pool.stats().read_retries, policy.max_attempts - 1);
+}
+
+// ---------- Transfer faults ----------
+
+TEST(TransferFaultTest, DroppedBatchChargesTimeoutAndRetransmission) {
+  Cluster::Options copts;
+  copts.buffer_pool_frames = 64;
+  Cluster clean(2, copts);
+  Cluster faulty(2, copts);
+  FaultInjector inj(/*seed=*/5);
+  inj.set_transfer_drop_rate(1.0);
+  faulty.SetFaultInjector(&inj);
+
+  const int64_t bytes = 40000;
+  clean.ChargeTransfer(0, 1, bytes);
+  faulty.ChargeTransfer(0, 1, bytes);
+
+  const sim::ResourceUsage clean_tx = clean.node(0).clock()->phase_usage();
+  const sim::ResourceUsage faulty_tx = faulty.node(0).clock()->phase_usage();
+  const sim::ResourceUsage clean_rx = clean.node(1).clock()->phase_usage();
+  const sim::ResourceUsage faulty_rx = faulty.node(1).clock()->phase_usage();
+  // The sender waited out the ack timeout, then both links carried the
+  // batch a second time.
+  EXPECT_EQ(faulty_tx.idle_seconds, inj.drop_timeout_seconds());
+  EXPECT_EQ(faulty_tx.net_bytes, 2 * clean_tx.net_bytes);
+  EXPECT_EQ(faulty_rx.net_bytes, 2 * clean_rx.net_bytes);
+  EXPECT_EQ(inj.stats().dropped_batches, 1);
+}
+
+TEST(TransferFaultTest, DuplicatedBatchChargesReceiverOnly) {
+  Cluster::Options copts;
+  copts.buffer_pool_frames = 64;
+  Cluster clean(2, copts);
+  Cluster faulty(2, copts);
+  FaultInjector inj(/*seed=*/6);
+  inj.set_transfer_duplicate_rate(1.0);
+  faulty.SetFaultInjector(&inj);
+
+  const int64_t bytes = 40000;
+  clean.ChargeTransfer(0, 1, bytes);
+  faulty.ChargeTransfer(0, 1, bytes);
+
+  // Sender unaffected; receiver pays to receive and discard the copy.
+  EXPECT_EQ(clean.node(0).clock()->phase_usage().net_bytes,
+            faulty.node(0).clock()->phase_usage().net_bytes);
+  EXPECT_EQ(faulty.node(1).clock()->phase_usage().net_bytes,
+            2 * clean.node(1).clock()->phase_usage().net_bytes);
+  EXPECT_GT(faulty.node(1).clock()->phase_usage().cpu_ops,
+            clean.node(1).clock()->phase_usage().cpu_ops);
+  EXPECT_EQ(inj.stats().duplicated_batches, 1);
+}
+
+// ---------- WAL recovery of a loser transaction after a mid-query crash --
+
+Tuple IntStringTuple(int64_t id, const std::string& name) {
+  return Tuple({Value(id), Value(name)});
+}
+
+TableDef IntStringDef(const std::string& name) {
+  TableDef def;
+  def.name = name;
+  def.schema =
+      exec::Schema({{"id", ValueType::kInt}, {"name", ValueType::kString}});
+  def.partitioning = PartitioningKind::kRoundRobin;
+  return def;
+}
+
+TEST(RecoveryTest, MidQueryCrashRollsBackLoserTransaction) {
+  Cluster::Options copts;
+  copts.buffer_pool_frames = 256;
+  Cluster cluster(1, copts);
+  TupleVec rows;
+  for (int64_t i = 0; i < 20; ++i) rows.push_back(IntStringTuple(i, "base"));
+  auto table = ParallelTable::Load(&cluster, IntStringDef("t"), rows);
+  ASSERT_TRUE(table.ok());
+  storage::HeapFile* file = (*table)->fragment(0).file.get();
+  const int64_t base_records = file->num_records();
+
+  FaultInjector inj(/*seed=*/7);
+  // Recoverable crash at the barrier after the first phase.
+  inj.ScheduleCrash(/*barrier=*/1, /*node=*/0, /*permanent=*/false);
+  cluster.SetFaultInjector(&inj);
+
+  QueryCoordinator coord(&cluster);
+  ASSERT_TRUE(coord.BeginQuery().ok());
+  // Phase 1: a transaction inserts, its log records reach the durable log
+  // (forced, e.g. by a page steal), the dirty page reaches disk — but it
+  // never commits before the node crashes at the phase barrier.
+  Status st = coord.RunPhase("update", [&](int node) -> Status {
+    auto& n = cluster.node(node);
+    auto txn = n.txn_manager()->Begin();
+    ByteBuffer record;
+    ByteWriter w(&record);
+    w.PutU8(1);
+    w.PutString("uncommitted");
+    auto oid = file->Insert(txn.get(), record);
+    if (!oid.ok()) return oid.status();
+    n.log()->Force(txn->last_lsn());
+    return n.pool()->FlushAll();
+  });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+
+  // The barrier fired the crash and the coordinator ran ARIES restart:
+  // the loser transaction was found and rolled back.
+  ASSERT_EQ(coord.phases().size(), 2u);
+  EXPECT_EQ(coord.phases()[1].name, "recover node 0");
+  EXPECT_TRUE(coord.phases()[1].sequential);
+  EXPECT_GT(coord.phases()[1].seconds, 0.0);
+  EXPECT_EQ(file->num_records(), base_records);
+  EXPECT_EQ(inj.stats().crashes, 1);
+  // Detection cost: the coordinator waited out the failure timeout.
+  EXPECT_GE(coord.query_seconds(),
+            cluster.retry_policy().detect_timeout_seconds);
+  // The node is alive again and the fragment fully readable.
+  EXPECT_TRUE(cluster.alive(0));
+  auto scan = (*table)->ScanFragment(&cluster, 0, true);
+  ASSERT_TRUE(scan.ok());
+  EXPECT_EQ(scan->size(), 20u);
+}
+
+TEST(RecoveryTest, RecoverNodeReportsLoserStats) {
+  Cluster::Options copts;
+  copts.buffer_pool_frames = 256;
+  Cluster cluster(1, copts);
+  TupleVec rows;
+  for (int64_t i = 0; i < 10; ++i) rows.push_back(IntStringTuple(i, "base"));
+  auto table = ParallelTable::Load(&cluster, IntStringDef("t"), rows);
+  ASSERT_TRUE(table.ok());
+  storage::HeapFile* file = (*table)->fragment(0).file.get();
+  ASSERT_TRUE(cluster.node(0).pool()->FlushAll().ok());
+
+  auto& n = cluster.node(0);
+  auto txn = n.txn_manager()->Begin();
+  ByteBuffer record;
+  ByteWriter w(&record);
+  w.PutU8(1);
+  w.PutString("loser");
+  auto oid = file->Insert(txn.get(), record);
+  ASSERT_TRUE(oid.ok());
+  n.log()->Force(txn->last_lsn());
+  ASSERT_TRUE(n.pool()->FlushAll().ok());
+
+  cluster.CrashNode(0);
+  storage::RecoveryManager::RecoveryStats stats;
+  ASSERT_TRUE(cluster.RecoverNode(0, &stats).ok());
+  EXPECT_EQ(stats.loser_txns, 1);
+  EXPECT_GT(stats.records_analyzed, 0);
+  EXPECT_EQ(file->num_records(), 10);
+  EXPECT_FALSE(file->Get(*oid).ok());
+  // Log reads during restart were charged to the node's clock.
+  EXPECT_GT(n.clock()->phase_usage().disk_bytes_read, 0);
+}
+
+// ---------- Coordinator error paths close the phase ----------
+
+TEST(CoordinatorTest, FailedPhaseDoesNotLeakUsageIntoNextPhase) {
+  Cluster::Options copts;
+  copts.buffer_pool_frames = 64;
+  Cluster cluster(2, copts);
+  QueryCoordinator coord(&cluster);
+  ASSERT_TRUE(coord.BeginQuery().ok());
+
+  Status st = coord.RunPhase("failing", [&](int node) -> Status {
+    cluster.node(node).clock()->ChargeCpu(1e9);
+    return node == 1 ? Status::Internal("boom") : Status::OK();
+  });
+  EXPECT_FALSE(st.ok());
+  ASSERT_EQ(coord.phases().size(), 1u);
+  const double failed_phase_seconds = coord.phases()[0].seconds;
+  EXPECT_GT(failed_phase_seconds, 0.0);
+
+  // The failed phase was closed: a later phase accounts only its own work.
+  ASSERT_TRUE(coord.RunPhase("clean", [&](int node) -> Status {
+    cluster.node(node).clock()->ChargeCpu(1.0);
+    return Status::OK();
+  }).ok());
+  ASSERT_EQ(coord.phases().size(), 2u);
+  EXPECT_LT(coord.phases()[1].seconds, failed_phase_seconds / 1e6);
+}
+
+TEST(CoordinatorTest, FailedSequentialStepClosesPhase) {
+  Cluster::Options copts;
+  copts.buffer_pool_frames = 64;
+  Cluster cluster(1, copts);
+  QueryCoordinator coord(&cluster);
+  ASSERT_TRUE(coord.BeginQuery().ok());
+  Status st = coord.RunSequential("bad merge", [&]() -> Status {
+    cluster.coordinator_clock()->ChargeCpu(1e6);
+    return Status::InvalidArgument("bad");
+  });
+  EXPECT_FALSE(st.ok());
+  ASSERT_EQ(coord.phases().size(), 1u);
+  EXPECT_GT(coord.phases()[0].seconds, 0.0);
+  EXPECT_EQ(coord.phases()[0].seconds, coord.query_seconds());
+}
+
+// ---------- Acceptance: the seeded schedule against Queries 2 and 5 ------
+
+benchmark::LoadOptions TinyLoadOptions() {
+  benchmark::LoadOptions lopts;
+  lopts.tiles_per_axis = 20;
+  return lopts;
+}
+
+datagen::DataSetOptions TinyDataOptions() {
+  datagen::DataSetOptions o;
+  o.size_fraction = 1.0 / 1000;
+  o.num_dates = 8;
+  o.base_raster_size = 96;
+  return o;
+}
+
+struct LoadedDb {
+  std::unique_ptr<Cluster> cluster;
+  std::unique_ptr<benchmark::BenchmarkDatabase> db;
+};
+
+LoadedDb LoadTinyDb(int nodes, int num_threads) {
+  LoadedDb out;
+  Cluster::Options copts;
+  copts.buffer_pool_frames = 2048;
+  out.cluster = std::make_unique<Cluster>(nodes, copts);
+  out.cluster->SetNumThreads(num_threads);
+  datagen::GlobalDataSet ds = datagen::GenerateGlobalDataSet(TinyDataOptions());
+  auto db = benchmark::BenchmarkDatabase::Load(out.cluster.get(), ds,
+                                               TinyLoadOptions());
+  EXPECT_TRUE(db.ok()) << db.status().ToString();
+  out.db = std::move(*db);
+  return out;
+}
+
+/// Redeclusters every benchmark table after a permanent node loss — the
+/// node-loss handler a real deployment would install.
+void InstallLossHandler(benchmark::BenchmarkDatabase* db) {
+  db->cluster()->set_node_loss_handler([db](int dead) -> Status {
+    ParallelTable* tables[] = {&db->places(), &db->roads(), &db->drainage(),
+                               &db->land_cover(), &db->raster()};
+    for (ParallelTable* t : tables) {
+      PARADISE_RETURN_IF_ERROR(t->RedeclusterAfterLoss(db->cluster(), dead));
+    }
+    return Status::OK();
+  });
+}
+
+/// The acceptance fault schedule: transient disk errors, torn pages,
+/// dropped and duplicated batches, and one node-crash event.
+void ConfigureAcceptanceFaults(FaultInjector* inj, bool permanent_crash) {
+  inj->set_transient_read_rate(0.05);
+  inj->set_torn_read_rate(0.05);
+  inj->set_transfer_drop_rate(0.02);
+  inj->set_transfer_duplicate_rate(0.02);
+  // Node 2 fails at the barrier after the first phase (recoverable) or
+  // right at query start (permanent, so the whole query runs degraded).
+  inj->ScheduleCrash(permanent_crash ? 0 : 1, /*node=*/2, permanent_crash);
+}
+
+std::vector<std::string> RenderRowsSorted(const TupleVec& rows) {
+  std::vector<std::string> out;
+  out.reserve(rows.size());
+  for (const Tuple& t : rows) {
+    std::string s;
+    for (const Value& v : t.values) {
+      if (v.type() == ValueType::kRaster) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "raster[%ux%u]",
+                      v.AsRaster()->height(), v.AsRaster()->width());
+        s += buf;
+      } else {
+        s += v.ToString();
+      }
+      s += "|";
+    }
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+struct FaultedRun {
+  double seconds = 0.0;
+  std::vector<std::string> rows;  // sorted render (gather order may vary)
+  FaultInjector::Stats fault_stats;
+};
+
+FaultedRun RunFaulted(int query, int num_threads, bool permanent_crash,
+                      uint64_t seed) {
+  LoadedDb loaded = LoadTinyDb(4, num_threads);
+  FaultInjector inj(seed);
+  ConfigureAcceptanceFaults(&inj, permanent_crash);
+  InstallLossHandler(loaded.db.get());
+  // Wire after load so fault ordinals start from the same (empty) state
+  // regardless of how the load was scheduled.
+  loaded.cluster->SetFaultInjector(&inj);
+  auto r = benchmark::RunQueryByNumber(loaded.db.get(), query);
+  EXPECT_TRUE(r.ok()) << "query " << query << ": " << r.status().ToString();
+  FaultedRun out;
+  if (r.ok()) {
+    out.seconds = r->seconds;
+    out.rows = RenderRowsSorted(r->rows);
+  }
+  out.fault_stats = inj.stats();
+  if (permanent_crash) {
+    EXPECT_EQ(loaded.cluster->num_alive(), 3);
+    EXPECT_FALSE(loaded.cluster->alive(2));
+  }
+  loaded.cluster->SetFaultInjector(nullptr);
+  return out;
+}
+
+FaultedRun RunFaultFree(int query, int num_threads) {
+  LoadedDb loaded = LoadTinyDb(4, num_threads);
+  auto r = benchmark::RunQueryByNumber(loaded.db.get(), query);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  FaultedRun out;
+  if (r.ok()) {
+    out.seconds = r->seconds;
+    out.rows = RenderRowsSorted(r->rows);
+  }
+  return out;
+}
+
+class FaultScheduleAcceptanceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FaultScheduleAcceptanceTest, RecoverableScheduleCorrectAndDeterministic) {
+  const int query = GetParam();
+  FaultedRun clean = RunFaultFree(query, /*num_threads=*/8);
+  FaultedRun f1 = RunFaulted(query, /*num_threads=*/1, /*permanent=*/false,
+                             /*seed=*/0xfa01);
+  FaultedRun f8 = RunFaulted(query, /*num_threads=*/8, /*permanent=*/false,
+                             /*seed=*/0xfa01);
+
+  // The schedule actually fired faults of each kind.
+  EXPECT_GT(f8.fault_stats.transient_read_faults, 0);
+  EXPECT_GT(f8.fault_stats.torn_read_faults, 0);
+  EXPECT_EQ(f8.fault_stats.crashes, 1);
+  // Correct rows despite the faults.
+  EXPECT_EQ(f8.rows, clean.rows) << "query " << query;
+  // Bit-identical modeled time and identical decisions at 1 vs 8 threads.
+  EXPECT_EQ(f1.seconds, f8.seconds) << "query " << query;
+  EXPECT_EQ(f1.rows, f8.rows);
+  EXPECT_EQ(f1.fault_stats.transient_read_faults,
+            f8.fault_stats.transient_read_faults);
+  EXPECT_EQ(f1.fault_stats.torn_read_faults, f8.fault_stats.torn_read_faults);
+  EXPECT_EQ(f1.fault_stats.dropped_batches, f8.fault_stats.dropped_batches);
+  EXPECT_EQ(f1.fault_stats.duplicated_batches,
+            f8.fault_stats.duplicated_batches);
+  // Faults cost modeled time: backoff, detection, recovery, re-reads.
+  EXPECT_GT(f8.seconds, clean.seconds) << "query " << query;
+}
+
+TEST_P(FaultScheduleAcceptanceTest, DegradedNMinusOneCompletesCorrectly) {
+  const int query = GetParam();
+  FaultedRun clean = RunFaultFree(query, /*num_threads=*/8);
+  FaultedRun d1 = RunFaulted(query, /*num_threads=*/1, /*permanent=*/true,
+                             /*seed=*/0xdead01);
+  FaultedRun d8 = RunFaulted(query, /*num_threads=*/8, /*permanent=*/true,
+                             /*seed=*/0xdead01);
+
+  // N−1 completion with the full answer.
+  EXPECT_EQ(d8.rows, clean.rows) << "query " << query;
+  // Degraded time exceeds fault-free: detection + redeclustering the dead
+  // node's fragments + the survivors absorbing its share of the work.
+  EXPECT_GT(d8.seconds, clean.seconds) << "query " << query;
+  // Deterministic across thread counts even with the node loss.
+  EXPECT_EQ(d1.seconds, d8.seconds) << "query " << query;
+  EXPECT_EQ(d1.rows, d8.rows);
+}
+
+INSTANTIATE_TEST_SUITE_P(Queries, FaultScheduleAcceptanceTest,
+                         ::testing::Values(2, 5));
+
+// ---------- Degraded-mode redeclustering invariants ----------
+
+TEST(DegradedModeTest, RedeclusterPreservesEveryTableRow) {
+  LoadedDb loaded = LoadTinyDb(4, /*num_threads=*/4);
+  benchmark::BenchmarkDatabase* db = loaded.db.get();
+  ParallelTable* tables[] = {&db->places(), &db->roads(), &db->drainage(),
+                             &db->land_cover(), &db->raster()};
+  std::vector<int64_t> rows_before;
+  for (ParallelTable* t : tables) rows_before.push_back(t->num_rows());
+
+  loaded.cluster->MarkNodeDead(2);
+  for (ParallelTable* t : tables) {
+    ASSERT_TRUE(t->RedeclusterAfterLoss(loaded.cluster.get(), 2).ok())
+        << t->def().name;
+  }
+
+  for (size_t i = 0; i < std::size(tables); ++i) {
+    EXPECT_EQ(tables[i]->num_rows(), rows_before[i])
+        << tables[i]->def().name;
+    EXPECT_EQ(tables[i]->fragment(2).num_rows(), 0)
+        << tables[i]->def().name;
+    // Every surviving fragment is scannable and primaries sum to the
+    // logical cardinality.
+    int64_t primaries = 0;
+    for (int n = 0; n < 4; ++n) {
+      if (n == 2) continue;
+      auto scan = tables[i]->ScanFragment(loaded.cluster.get(), n, true);
+      ASSERT_TRUE(scan.ok()) << tables[i]->def().name << " node " << n;
+      primaries += static_cast<int64_t>(scan->size());
+    }
+    EXPECT_EQ(primaries, rows_before[i]) << tables[i]->def().name;
+  }
+  // The salvage + shipping work was charged (to the open phase — no
+  // coordinator closed it here): the dead node paid to read its fragments
+  // off its surviving disks and the survivors received bytes.
+  EXPECT_GT(loaded.cluster->node(2).clock()->phase_usage().cpu_ops, 0.0);
+  int64_t received = 0;
+  for (int n = 0; n < 4; ++n) {
+    if (n == 2) continue;
+    received += loaded.cluster->node(n).clock()->phase_usage().net_bytes;
+  }
+  EXPECT_GT(received, 0);
+}
+
+}  // namespace
+}  // namespace paradise

@@ -6,6 +6,7 @@
 #include <limits>
 #include <memory>
 #include <set>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
@@ -77,6 +78,31 @@ TEST(ThreadPoolTest, MoreThreadsThanWork) {
 TEST(ThreadPoolTest, EmptyBatchIsANoOp) {
   common::ThreadPool pool(2);
   pool.ParallelFor(0, [&](int) { FAIL() << "must not run"; });
+}
+
+TEST(ThreadPoolTest, WorkerExceptionRethrownAtBarrier) {
+  common::ThreadPool pool(4);
+  EXPECT_THROW(pool.ParallelFor(16,
+                                [&](int i) {
+                                  if (i == 7) throw std::runtime_error("boom");
+                                }),
+               std::runtime_error);
+  // The pool survives a throwing batch and runs later batches normally.
+  std::vector<int> hits(8, 0);
+  pool.ParallelFor(8, [&](int i) { ++hits[i]; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPoolTest, InlineExceptionRethrownWithSingleThread) {
+  common::ThreadPool pool(1);
+  EXPECT_THROW(pool.ParallelFor(4,
+                                [&](int i) {
+                                  if (i == 2) throw std::runtime_error("boom");
+                                }),
+               std::runtime_error);
+  std::vector<int> hits(4, 0);
+  pool.ParallelFor(4, [&](int i) { ++hits[i]; });
+  for (int h : hits) EXPECT_EQ(h, 1);
 }
 
 TEST(ThreadPoolTest, DefaultThreadCountRespectsEnv) {
@@ -211,7 +237,7 @@ TEST(StoreResultTest, SkewedInputBalancesWithinOneAndChargesTransfer) {
   copts.buffer_pool_frames = 512;
   Cluster cluster(4, copts);
   QueryCoordinator coord(&cluster);
-  coord.BeginQuery();
+  EXPECT_TRUE(coord.BeginQuery().ok());
   // Heavily skewed input: 13 tuples on node 0, 5 on node 2, none elsewhere
   // (the shape a selective spatial predicate produces).
   PerNode input(4);
@@ -262,7 +288,7 @@ TEST(IndexRangeChargeTest, EmptyRangeChargesProbeOnly) {
   auto table = ParallelTable::Load(&cluster, def, rows);
   ASSERT_TRUE(table.ok());
   QueryCoordinator coord(&cluster);
-  coord.BeginQuery();
+  EXPECT_TRUE(coord.BeginQuery().ok());
   auto out = core::ParallelIndexSelectIntRange(&coord, **table, 0, 1000, 2000);
   ASSERT_TRUE(out.ok()) << out.status().ToString();
   EXPECT_TRUE((*out)[0].empty());
@@ -308,7 +334,7 @@ TEST(SpatialSelectReplicaTest, ReplicasAreNotFetched) {
 
   auto run = [&](Cluster* cluster, const ParallelTable& table) {
     QueryCoordinator coord(cluster);
-    coord.BeginQuery();
+    EXPECT_TRUE(coord.BeginQuery().ok());
     auto out = core::ParallelSpatialIndexSelect(&coord, table, universe,
                                                 nullptr);
     EXPECT_TRUE(out.ok());
