@@ -1,10 +1,16 @@
 // Google-benchmark microbenches for the substrate pieces whose *real* CPU
 // cost matters in the simulation: LZW tile compression, R*-tree probes
 // (dynamic vs STR bulk-loaded), B+-tree operations, and the PBSM
-// partition sweep.
+// partition sweep — followed by a query-level section that runs the
+// scan-heavy benchmark queries end to end, printing host wall-clock,
+// modeled seconds, and buffer-pool statistics. `--json <path>` writes the
+// query section as JSON (the CI perf-smoke gate consumes it).
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
+#include "bench/bench_util.h"
 #include "codec/lzw.h"
 #include "common/rng.h"
 #include "exec/spatial_join.h"
@@ -176,6 +182,68 @@ BENCHMARK(BM_PbsmJoin)
     ->Args({2000, 64})
     ->Args({8000, 64});
 
+// ---------- Query-level section ----------
+
+paradise::storage::BufferPool::Stats PoolStatsAllNodes(
+    paradise::core::Cluster* cluster) {
+  paradise::storage::BufferPool::Stats total;
+  for (int n = 0; n < cluster->num_nodes(); ++n) {
+    total.Add(cluster->node(n).pool()->stats());
+  }
+  return total;
+}
+
+std::vector<paradise::bench::QueryPerfSample> RunQuerySection() {
+  using Clock = std::chrono::steady_clock;
+  using paradise::storage::BufferPool;
+
+  paradise::bench::BenchConfig cfg;
+  cfg.fraction = 1.0 / 512;
+  cfg.dates = 16;
+  cfg.raster_size = 128;
+  paradise::bench::LoadedDb loaded = paradise::bench::LoadDb(cfg, 4, 1);
+  loaded.cluster->SetNumThreads(8);
+  std::printf("\nquery section: 4 nodes, 8 threads, %d pool shards/node\n",
+              loaded.cluster->node(0).pool()->num_shards());
+  std::printf("%-6s %12s %12s %9s %10s %10s %10s\n", "query", "wall_ms",
+              "modeled_s", "hit_rate", "misses", "ra_batch", "ra_pages");
+
+  std::vector<paradise::bench::QueryPerfSample> samples;
+  for (int query : {2, 5, 11, 12}) {
+    BufferPool::Stats before = PoolStatsAllNodes(loaded.cluster.get());
+    Clock::time_point t0 = Clock::now();
+    double modeled =
+        paradise::bench::RunQuerySeconds(loaded.db.get(), query);
+    double wall = std::chrono::duration<double>(Clock::now() - t0).count();
+    BufferPool::Stats after = PoolStatsAllNodes(loaded.cluster.get());
+    BufferPool::Stats d;
+    d.Add(after);
+    d.hits -= before.hits;
+    d.misses -= before.misses;
+    d.readahead_batches -= before.readahead_batches;
+    d.readahead_pages -= before.readahead_pages;
+    std::printf("Q%-5d %12.1f %12.6f %8.1f%% %10lld %10lld %10lld\n", query,
+                wall * 1e3, modeled, d.hit_rate() * 100,
+                static_cast<long long>(d.misses),
+                static_cast<long long>(d.readahead_batches),
+                static_cast<long long>(d.readahead_pages));
+    samples.push_back({"Q" + std::to_string(query), wall, modeled});
+  }
+  return samples;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_path = paradise::bench::ExtractJsonPathArg(&argc, argv);
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  std::vector<paradise::bench::QueryPerfSample> samples = RunQuerySection();
+  if (!json_path.empty()) {
+    paradise::bench::WriteBenchJson(json_path, "bench_micro", samples);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

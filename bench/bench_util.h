@@ -2,9 +2,11 @@
 #define PARADISE_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "benchmark/database.h"
 #include "benchmark/queries.h"
@@ -87,6 +89,60 @@ inline double RunQuerySeconds(benchmark::BenchmarkDatabase* db, int query) {
     std::exit(1);
   }
   return r->seconds;
+}
+
+/// One benchmarked query for the machine-readable report: host wall-clock
+/// (what the CI perf-smoke job regresses on) next to the modeled seconds
+/// (what the paper's experiments report).
+struct QueryPerfSample {
+  std::string name;
+  double wall_seconds = 0.0;
+  double modeled_seconds = 0.0;
+};
+
+/// Pulls `--json <path>` / `--json=<path>` out of argv (compacting it so
+/// later parsers never see the flag) and returns the path, or "" if absent.
+inline std::string ExtractJsonPathArg(int* argc, char** argv) {
+  std::string path;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < *argc) {
+      path = argv[++i];
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      path = argv[i] + 7;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  return path;
+}
+
+/// Writes the samples as a small JSON document:
+///   {"bench": "<name>", "queries": [{"name": ..., "wall_seconds": ...,
+///    "modeled_seconds": ...}, ...]}
+/// Exits nonzero if the file cannot be written (a silent miss would let
+/// the CI perf gate pass vacuously).
+inline void WriteBenchJson(const std::string& path,
+                           const std::string& bench_name,
+                           const std::vector<QueryPerfSample>& samples) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"queries\": [\n",
+               bench_name.c_str());
+  for (size_t i = 0; i < samples.size(); ++i) {
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"wall_seconds\": %.6f, "
+                 "\"modeled_seconds\": %.9f}%s\n",
+                 samples[i].name.c_str(), samples[i].wall_seconds,
+                 samples[i].modeled_seconds,
+                 i + 1 < samples.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
 }
 
 }  // namespace paradise::bench

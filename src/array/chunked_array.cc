@@ -161,6 +161,20 @@ StatusOr<ByteBuffer> LocalTileSource::ReadTile(const ArrayHandle& handle,
   return raw;
 }
 
+void LocalTileSource::PrefetchTiles(const ArrayHandle& handle,
+                                    const std::vector<uint32_t>& tile_indices) {
+  // Readahead at most half the pool: prefetching a region larger than the
+  // pool would evict its own tiles before they are read.
+  size_t budget_pages = store_->pool_capacity() / 2;
+  size_t used = 0;
+  for (uint32_t t : tile_indices) {
+    const storage::LobId& lob = handle.tiles[t].lob;
+    if (used + lob.num_pages > budget_pages) break;
+    store_->Prefetch(lob);
+    used += lob.num_pages;
+  }
+}
+
 StatusOr<ArrayHandle> StoreArrayWithPlacement(
     const uint8_t* data, std::vector<uint32_t> dims, uint32_t elem_size,
     const std::function<TilePlacement(uint32_t,
@@ -289,7 +303,9 @@ StatusOr<ByteBuffer> ReadRegion(const ArrayHandle& handle, TileSource* source,
     return out;
   }
 
-  for (uint32_t t : TilesForRegion(handle, lo, hi)) {
+  std::vector<uint32_t> tiles = TilesForRegion(handle, lo, hi);
+  source->PrefetchTiles(handle, tiles);
+  for (uint32_t t : tiles) {
     PARADISE_ASSIGN_OR_RETURN(ByteBuffer tile, source->ReadTile(handle, t));
     std::vector<uint32_t> coord = TileCoordFromIndex(handle, t);
     CopyTileRegion(handle, coord, lo, hi, tile.data(), out.data(),

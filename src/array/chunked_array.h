@@ -33,6 +33,15 @@ class TileSource {
   virtual ~TileSource() = default;
   virtual StatusOr<ByteBuffer> ReadTile(const ArrayHandle& handle,
                                         uint32_t tile_index) = 0;
+
+  /// Advisory readahead for a batch of tiles about to be read. The default
+  /// is a no-op (remote pulls ship tiles individually); the local source
+  /// pushes each tile's page run into the buffer pool in one batched read.
+  virtual void PrefetchTiles(const ArrayHandle& handle,
+                             const std::vector<uint32_t>& tile_indices) {
+    (void)handle;
+    (void)tile_indices;
+  }
 };
 
 /// Reads tiles from the node-local store, decompressing as needed and
@@ -44,6 +53,9 @@ class LocalTileSource : public TileSource {
 
   StatusOr<ByteBuffer> ReadTile(const ArrayHandle& handle,
                                 uint32_t tile_index) override;
+
+  void PrefetchTiles(const ArrayHandle& handle,
+                     const std::vector<uint32_t>& tile_indices) override;
 
  private:
   storage::LargeObjectStore* const store_;

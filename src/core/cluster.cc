@@ -11,9 +11,11 @@ constexpr uint32_t kLobVolumeOffset = 100;
 constexpr uint32_t kTempVolumeOffset = 101;
 }  // namespace
 
-Node::Node(uint32_t id, size_t buffer_pool_frames, int data_volumes)
+Node::Node(uint32_t id, size_t buffer_pool_frames, int data_volumes,
+           int pool_shards)
     : id_(id),
-      pool_(std::make_unique<storage::BufferPool>(buffer_pool_frames)),
+      pool_(std::make_unique<storage::BufferPool>(buffer_pool_frames,
+                                                  pool_shards)),
       log_(std::make_unique<storage::LogManager>(&clock_)) {
   txn_manager_ = std::make_unique<storage::TransactionManager>(log_.get());
   for (int i = 0; i < data_volumes; ++i) {
@@ -50,7 +52,8 @@ Cluster::Cluster(int num_nodes, Options options) {
   for (int i = 0; i < num_nodes; ++i) {
     nodes_.push_back(std::make_unique<Node>(static_cast<uint32_t>(i),
                                             options.buffer_pool_frames,
-                                            options.data_volumes_per_node));
+                                            options.data_volumes_per_node,
+                                            options.pool_shards));
   }
   alive_.assign(nodes_.size(), true);
 }

@@ -28,7 +28,8 @@ namespace paradise::core {
 /// operators run "on" a node by charging its clock.
 class Node {
  public:
-  Node(uint32_t id, size_t buffer_pool_frames, int data_volumes);
+  Node(uint32_t id, size_t buffer_pool_frames, int data_volumes,
+       int pool_shards = 0);
 
   Node(const Node&) = delete;
   Node& operator=(const Node&) = delete;
@@ -81,6 +82,10 @@ class Cluster {
     /// 32 MB buffer pool per node, as configured in Section 3.2.
     size_t buffer_pool_frames = (32 << 20) / storage::kPageSize;
     int data_volumes_per_node = 4;
+    /// Buffer-pool shards per node; 0 = auto (PARADISE_POOL_SHARDS env or
+    /// 2 x hardware_concurrency, power of two). Benches force this to
+    /// compare contention profiles.
+    int pool_shards = 0;
   };
 
   explicit Cluster(int num_nodes);

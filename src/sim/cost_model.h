@@ -51,6 +51,16 @@ struct CostModel {
   /// sustaining well under 1 op/cycle on pointer-chasing DB code.
   double cpu_ops_per_second = 90.0e6;
 
+  /// Cost of one batched read of `pages` consecutive pages of `page_bytes`
+  /// each: one positioning operation, then pure media transfer. This is
+  /// the charge DiskVolume::ReadRun makes for a readahead window and what
+  /// the buffer pool's batched miss path saves over per-page random reads
+  /// (which would pay disk_seek_seconds per page).
+  double SequentialRunSeconds(int64_t pages, int64_t page_bytes) const {
+    return disk_seek_seconds +
+           static_cast<double>(pages * page_bytes) / disk_bytes_per_second;
+  }
+
   double Seconds(const ResourceUsage& u) const {
     double disk = static_cast<double>(u.disk_seeks) * disk_seek_seconds +
                   static_cast<double>(u.disk_bytes_read +

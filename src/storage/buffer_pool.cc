@@ -1,8 +1,32 @@
 #include "storage/buffer_pool.h"
 
+#include <algorithm>
+#include <cstdlib>
+#include <thread>
+
 #include "common/logging.h"
 
 namespace paradise::storage {
+
+namespace {
+
+size_t RoundUpPow2(size_t v) {
+  size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+int DefaultPoolShards() {
+  if (const char* env = std::getenv("PARADISE_POOL_SHARDS")) {
+    int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  return static_cast<int>(2 * hw);
+}
+
+}  // namespace
 
 PageGuard& PageGuard::operator=(PageGuard&& other) noexcept {
   if (this != &other) {
@@ -12,6 +36,7 @@ PageGuard& PageGuard::operator=(PageGuard&& other) noexcept {
     page_ = other.page_;
     id_ = other.id_;
     other.pool_ = nullptr;
+    other.frame_ = nullptr;
     other.page_ = nullptr;
   }
   return *this;
@@ -29,32 +54,89 @@ void PageGuard::Release() {
     pool_->Unpin(frame_);
   }
   pool_ = nullptr;
+  frame_ = nullptr;
   page_ = nullptr;
 }
 
-BufferPool::BufferPool(size_t capacity_frames) : capacity_(capacity_frames) {
+BufferPool::BufferPool(size_t capacity_frames, int num_shards)
+    : capacity_(capacity_frames) {
   PARADISE_CHECK(capacity_frames > 0);
-  frames_.reserve(capacity_frames);
+  bool auto_shards = num_shards <= 0;
+  size_t n =
+      RoundUpPow2(static_cast<size_t>(auto_shards ? DefaultPoolShards()
+                                                  : num_shards));
+  size_t min_per_shard = auto_shards ? kMinFramesPerShard : 1;
+  while (n > 1 && capacity_frames / n < min_per_shard) n >>= 1;
+  shard_mask_ = n - 1;
+  shards_.reserve(n);
+  size_t base = capacity_frames / n;
+  size_t rem = capacity_frames % n;
+  for (size_t i = 0; i < n; ++i) {
+    auto s = std::make_unique<Shard>();
+    s->index = static_cast<uint32_t>(i);
+    s->capacity = base + (i < rem ? 1 : 0);
+    s->frames.reserve(s->capacity);
+    shards_.push_back(std::move(s));
+  }
 }
 
 void BufferPool::AttachVolume(DiskVolume* volume) {
-  std::lock_guard<std::mutex> g(mu_);
+  std::lock_guard<std::mutex> g(config_mu_);
   volumes_[volume->volume_id()] = volume;
 }
 
-StatusOr<size_t> BufferPool::FindVictimLocked() {
-  if (!free_frames_.empty()) {
-    size_t idx = free_frames_.back();
-    free_frames_.pop_back();
-    return idx;
+DiskVolume* BufferPool::LookupVolume(uint32_t volume,
+                                     sim::RetryPolicy* policy) const {
+  std::lock_guard<std::mutex> g(config_mu_);
+  if (policy != nullptr) *policy = retry_policy_;
+  auto it = volumes_.find(volume);
+  return it == volumes_.end() ? nullptr : it->second;
+}
+
+void BufferPool::RemoveFromListLocked(Shard& s, internal::Frame* f) {
+  if (!f->in_lru) return;
+  (f->hot ? s.hot : s.cold).erase(f->lru_it);
+  f->in_lru = false;
+}
+
+void BufferPool::PushUnpinnedLocked(Shard& s, internal::Frame* f) {
+  auto& list = f->hot ? s.hot : s.cold;
+  list.push_back(f);
+  f->lru_it = std::prev(list.end());
+  f->in_lru = true;
+  // Keep the hot segment at its midpoint target; the demoted LRU end of
+  // hot re-enters cold at the MRU end, so it still outlives scan pages.
+  size_t hot_target = s.capacity * kHotEighths / 8;
+  while (s.hot.size() > hot_target) {
+    internal::Frame* d = s.hot.front();
+    s.hot.pop_front();
+    d->hot = false;
+    s.cold.push_back(d);
+    d->lru_it = std::prev(s.cold.end());
   }
-  if (frames_.size() < capacity_) {
-    frames_.push_back(std::make_unique<Frame>());
-    return frames_.size() - 1;
+}
+
+StatusOr<internal::Frame*> BufferPool::FindVictimLocked(Shard& s) {
+  if (!s.free_frames.empty()) {
+    internal::Frame* f = s.free_frames.back();
+    s.free_frames.pop_back();
+    return f;
   }
-  if (lru_.empty()) {
+  if (s.frames.size() < s.capacity) {
+    s.frames.push_back(std::make_unique<internal::Frame>());
+    internal::Frame* f = s.frames.back().get();
+    f->shard = s.index;
+    return f;
+  }
+  internal::Frame* victim = nullptr;
+  if (!s.cold.empty()) {
+    victim = s.cold.front();
+  } else if (!s.hot.empty()) {
+    victim = s.hot.front();
+  }
+  if (victim == nullptr) {
     int64_t pinned = 0, unused = 0, in_use = 0;
-    for (const auto& f : frames_) {
+    for (const auto& f : s.frames) {
       if (!f->in_use) {
         ++unused;
       } else if (f->pin_count > 0) {
@@ -64,84 +146,94 @@ StatusOr<size_t> BufferPool::FindVictimLocked() {
       }
     }
     return Status::ResourceExhausted(
-        "buffer pool: no evictable frame (pinned=" + std::to_string(pinned) +
+        "buffer pool: no evictable frame in shard " + std::to_string(s.index) +
+        " (pinned=" + std::to_string(pinned) +
         " unpinned-in-use=" + std::to_string(in_use) +
         " unused=" + std::to_string(unused) + ")");
   }
-  size_t victim = lru_.front();
-  PARADISE_RETURN_IF_ERROR(EvictLocked(victim));
+  PARADISE_RETURN_IF_ERROR(EvictLocked(s, victim));
   return victim;
 }
 
-Status BufferPool::EvictLocked(size_t frame_index) {
-  Frame& f = *frames_[frame_index];
-  PARADISE_CHECK(f.pin_count == 0 && f.in_use);
-  if (f.dirty) {
-    auto it = volumes_.find(f.id.volume);
-    PARADISE_CHECK_MSG(it != volumes_.end(), "evicting page of unknown volume");
-    PARADISE_RETURN_IF_ERROR(it->second->WritePage(f.id.page_no, f.page));
-    ++stats_.dirty_writebacks;
+Status BufferPool::EvictLocked(Shard& s, internal::Frame* f) {
+  PARADISE_CHECK(f->pin_count == 0 && f->in_use);
+  if (f->dirty) {
+    DiskVolume* volume = LookupVolume(f->id.volume, nullptr);
+    PARADISE_CHECK_MSG(volume != nullptr, "evicting page of unknown volume");
+    PARADISE_RETURN_IF_ERROR(volume->WritePage(f->id.page_no, f->page));
+    ++s.stats.dirty_writebacks;
   }
-  table_.erase(f.id);
-  if (f.in_lru) {
-    lru_.erase(f.lru_it);
-    f.in_lru = false;
-  }
-  f.in_use = false;
-  f.dirty = false;
-  ++stats_.evictions;
+  s.table.erase(f->id);
+  RemoveFromListLocked(s, f);
+  f->in_use = false;
+  f->dirty = false;
+  f->hot = false;
+  f->referenced = false;
+  ++s.stats.evictions;
   return Status::OK();
 }
 
 StatusOr<PageGuard> BufferPool::Pin(PageId id) {
-  std::lock_guard<std::mutex> g(mu_);
-  auto it = table_.find(id);
-  if (it != table_.end()) {
-    size_t idx = it->second;
-    Frame& f = *frames_[idx];
-    if (f.pin_count == 0 && f.in_lru) {
-      lru_.erase(f.lru_it);
-      f.in_lru = false;
+  Shard& s = shard_for(id);
+  std::lock_guard<std::mutex> g(s.mu);
+  auto it = s.table.find(id);
+  if (it != s.table.end()) {
+    internal::Frame* f = it->second;
+    RemoveFromListLocked(s, f);
+    if (!f->referenced) {
+      // First real use of a readahead page: stays in the cold segment.
+      f->referenced = true;
+    } else if (!f->hot) {
+      // Re-reference: midpoint promotion into the hot segment.
+      f->hot = true;
+      ++s.stats.promotions;
     }
-    ++f.pin_count;
-    ++stats_.hits;
-    return PageGuard(this, idx, &f.page, id);
+    ++f->pin_count;
+    ++s.stats.hits;
+    return PageGuard(this, f, &f->page, id);
   }
-  ++stats_.misses;
-  auto volume_it = volumes_.find(id.volume);
-  if (volume_it == volumes_.end()) {
+  ++s.stats.misses;
+  sim::RetryPolicy policy;
+  DiskVolume* volume = LookupVolume(id.volume, &policy);
+  if (volume == nullptr) {
     return Status::NotFound("unknown volume");
   }
-  PARADISE_ASSIGN_OR_RETURN(size_t idx, FindVictimLocked());
-  Frame& f = *frames_[idx];
-  PARADISE_RETURN_IF_ERROR(
-      ReadPageVerifiedLocked(volume_it->second, id.page_no, &f.page));
-  f.id = id;
-  f.pin_count = 1;
-  f.dirty = false;
-  f.in_use = true;
-  f.in_lru = false;
-  table_[id] = idx;
-  return PageGuard(this, idx, &f.page, id);
+  PARADISE_ASSIGN_OR_RETURN(internal::Frame * f, FindVictimLocked(s));
+  Status st = ReadPageVerifiedLocked(s, volume, policy, id.page_no, &f->page,
+                                     /*first_attempt=*/0, Status::OK());
+  if (!st.ok()) {
+    s.free_frames.push_back(f);
+    return st;
+  }
+  f->id = id;
+  f->pin_count = 1;
+  f->dirty = false;
+  f->in_use = true;
+  f->hot = false;
+  f->referenced = true;
+  f->in_lru = false;
+  s.table[id] = f;
+  return PageGuard(this, f, &f->page, id);
 }
 
-Status BufferPool::ReadPageVerifiedLocked(DiskVolume* volume, PageNo page_no,
-                                          Page* out) {
-  Status last = Status::OK();
-  for (int attempt = 0; attempt < retry_policy_.max_attempts; ++attempt) {
+Status BufferPool::ReadPageVerifiedLocked(Shard& s, DiskVolume* volume,
+                                          const sim::RetryPolicy& policy,
+                                          PageNo page_no, Page* out,
+                                          int first_attempt, Status last) {
+  for (int attempt = first_attempt; attempt < policy.max_attempts; ++attempt) {
     if (attempt > 0) {
       // Exponential backoff before each retry, as modeled time on the
       // volume's clock — never a host sleep, so faulted runs stay
       // deterministic across thread counts.
       if (volume->clock() != nullptr) {
-        volume->clock()->ChargeIdle(retry_policy_.BackoffSeconds(attempt - 1));
+        volume->clock()->ChargeIdle(policy.BackoffSeconds(attempt - 1));
       }
-      ++stats_.read_retries;
+      ++s.stats.read_retries;
     }
     Status st = volume->ReadPage(page_no, out);
     if (st.ok()) {
       if (out->VerifyChecksum()) return Status::OK();
-      ++stats_.checksum_failures;
+      ++s.stats.checksum_failures;
       last = Status::Corruption("page checksum mismatch on volume " +
                                 std::to_string(volume->volume_id()) +
                                 " page " + std::to_string(page_no));
@@ -154,111 +246,237 @@ Status BufferPool::ReadPageVerifiedLocked(DiskVolume* volume, PageNo page_no,
 }
 
 StatusOr<PageGuard> BufferPool::NewPage(uint32_t volume) {
-  std::lock_guard<std::mutex> g(mu_);
-  auto volume_it = volumes_.find(volume);
-  if (volume_it == volumes_.end()) {
+  DiskVolume* vol = LookupVolume(volume, nullptr);
+  if (vol == nullptr) {
     return Status::NotFound("unknown volume");
   }
-  PageNo page_no = volume_it->second->AllocatePage();
-  PARADISE_ASSIGN_OR_RETURN(size_t idx, FindVictimLocked());
-  Frame& f = *frames_[idx];
-  f.page = Page();
-  f.id = PageId{volume, page_no};
-  f.pin_count = 1;
-  f.dirty = true;  // fresh pages must reach disk eventually
-  f.in_use = true;
-  f.in_lru = false;
-  table_[f.id] = idx;
-  return PageGuard(this, idx, &f.page, f.id);
+  PageNo page_no = vol->AllocatePage();
+  PageId id{volume, page_no};
+  Shard& s = shard_for(id);
+  std::lock_guard<std::mutex> g(s.mu);
+  PARADISE_ASSIGN_OR_RETURN(internal::Frame * f, FindVictimLocked(s));
+  f->page = Page();
+  f->id = id;
+  f->pin_count = 1;
+  f->dirty = true;  // fresh pages must reach disk eventually
+  f->in_use = true;
+  f->hot = false;
+  f->referenced = true;
+  f->in_lru = false;
+  s.table[id] = f;
+  return PageGuard(this, f, &f->page, id);
 }
 
-void BufferPool::Unpin(size_t frame_index) {
-  std::lock_guard<std::mutex> g(mu_);
-  Frame& f = *frames_[frame_index];
-  PARADISE_CHECK(f.pin_count > 0);
-  if (--f.pin_count == 0) {
-    lru_.push_back(frame_index);
-    f.lru_it = std::prev(lru_.end());
-    f.in_lru = true;
+void BufferPool::Prefetch(PageId first, uint32_t count) {
+  if (count == 0 || first.page_no == kInvalidPageNo) return;
+  sim::RetryPolicy policy;
+  DiskVolume* volume = LookupVolume(first.volume, &policy);
+  if (volume == nullptr) return;
+  uint32_t done = 0;
+  while (done < count) {
+    PageNo p = first.page_no + done;
+    // Windows are aligned to kRunPages groups so each stays in one shard.
+    uint32_t group_end = (p / kRunPages + 1) * kRunPages;
+    uint32_t window = std::min(count - done, group_end - p);
+    PageId window_first{first.volume, p};
+    PrefetchWindow(shard_for(window_first), volume, policy, window_first,
+                   window);
+    done += window;
   }
 }
 
-void BufferPool::MarkDirtyFrame(size_t frame_index) {
-  std::lock_guard<std::mutex> g(mu_);
-  frames_[frame_index]->dirty = true;
+void BufferPool::PrefetchWindow(Shard& s, DiskVolume* volume,
+                                const sim::RetryPolicy& policy, PageId first,
+                                uint32_t count) {
+  std::lock_guard<std::mutex> g(s.mu);
+  // A window that cannot fit alongside the pages it serves would evict
+  // itself out of a tiny shard; skip and let demand reads handle it.
+  if (count > s.capacity / 2) return;
+  uint32_t i = 0;
+  while (i < count) {
+    if (s.table.count(PageId{first.volume, first.page_no + i}) != 0) {
+      ++i;
+      continue;
+    }
+    // Maximal run of uncached pages starting at i.
+    uint32_t j = i + 1;
+    while (j < count &&
+           s.table.count(PageId{first.volume, first.page_no + j}) == 0) {
+      ++j;
+    }
+    uint32_t run_len = j - i;
+    PageNo run_first = first.page_no + i;
+
+    std::vector<internal::Frame*> frames;
+    frames.reserve(run_len);
+    for (uint32_t k = 0; k < run_len; ++k) {
+      auto victim_or = FindVictimLocked(s);
+      if (!victim_or.ok()) break;  // advisory: stop if nothing evictable
+      frames.push_back(victim_or.value());
+    }
+    if (frames.size() < run_len) {
+      for (internal::Frame* f : frames) s.free_frames.push_back(f);
+      return;
+    }
+    std::vector<Page*> pages(run_len);
+    for (uint32_t k = 0; k < run_len; ++k) pages[k] = &frames[k]->page;
+    std::vector<Status> statuses(run_len, Status::OK());
+    Status run_st =
+        volume->ReadRun(run_first, run_len, pages.data(), statuses.data());
+    if (!run_st.ok()) {
+      for (internal::Frame* f : frames) s.free_frames.push_back(f);
+      return;
+    }
+    ++s.stats.readahead_batches;
+    for (uint32_t k = 0; k < run_len; ++k) {
+      internal::Frame* f = frames[k];
+      PageNo page_no = run_first + k;
+      Status st = statuses[k];
+      if (st.ok() && !f->page.VerifyChecksum()) {
+        ++s.stats.checksum_failures;
+        st = Status::Corruption("page checksum mismatch on volume " +
+                                std::to_string(volume->volume_id()) +
+                                " page " + std::to_string(page_no));
+      }
+      if (!st.ok() && (st.code() == StatusCode::kUnavailable ||
+                       st.code() == StatusCode::kCorruption)) {
+        // The batch consumed the first attempt; resume the retry budget.
+        st = ReadPageVerifiedLocked(s, volume, policy, page_no, &f->page,
+                                    /*first_attempt=*/1, st);
+      }
+      if (!st.ok()) {
+        // Advisory: drop the page; the demand Pin will surface the error.
+        s.free_frames.push_back(f);
+        continue;
+      }
+      f->id = PageId{first.volume, page_no};
+      f->pin_count = 0;
+      f->dirty = false;
+      f->in_use = true;
+      f->hot = false;
+      f->referenced = false;  // first Pin counts as the first touch
+      s.table[f->id] = f;
+      s.cold.push_back(f);
+      f->lru_it = std::prev(s.cold.end());
+      f->in_lru = true;
+      ++s.stats.readahead_pages;
+    }
+    i = j;
+  }
+}
+
+StatusOr<std::vector<PageGuard>> BufferPool::PinRange(PageId first,
+                                                      uint32_t count) {
+  Prefetch(first, count);
+  std::vector<PageGuard> guards;
+  guards.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    PARADISE_ASSIGN_OR_RETURN(PageGuard guard,
+                              Pin(PageId{first.volume, first.page_no + i}));
+    guards.push_back(std::move(guard));
+  }
+  return guards;
+}
+
+void BufferPool::Unpin(internal::Frame* frame) {
+  Shard& s = *shards_[frame->shard];
+  std::lock_guard<std::mutex> g(s.mu);
+  PARADISE_CHECK(frame->pin_count > 0);
+  if (--frame->pin_count == 0) {
+    PushUnpinnedLocked(s, frame);
+  }
+}
+
+void BufferPool::MarkDirtyFrame(internal::Frame* frame) {
+  Shard& s = *shards_[frame->shard];
+  std::lock_guard<std::mutex> g(s.mu);
+  frame->dirty = true;
 }
 
 Status BufferPool::FlushAll() {
-  std::lock_guard<std::mutex> g(mu_);
-  for (auto& frame : frames_) {
-    Frame& f = *frame;
-    if (f.in_use && f.dirty) {
-      auto it = volumes_.find(f.id.volume);
-      PARADISE_CHECK(it != volumes_.end());
-      PARADISE_RETURN_IF_ERROR(it->second->WritePage(f.id.page_no, f.page));
-      f.dirty = false;
+  for (auto& shard : shards_) {
+    Shard& s = *shard;
+    std::lock_guard<std::mutex> g(s.mu);
+    for (auto& frame : s.frames) {
+      internal::Frame& f = *frame;
+      if (f.in_use && f.dirty) {
+        DiskVolume* volume = LookupVolume(f.id.volume, nullptr);
+        PARADISE_CHECK(volume != nullptr);
+        PARADISE_RETURN_IF_ERROR(volume->WritePage(f.id.page_no, f.page));
+        f.dirty = false;
+      }
     }
   }
   return Status::OK();
 }
 
 Status BufferPool::FlushPage(PageId id) {
-  std::lock_guard<std::mutex> g(mu_);
-  auto it = table_.find(id);
-  if (it == table_.end()) return Status::OK();  // not cached: already on disk
-  Frame& f = *frames_[it->second];
-  if (f.dirty) {
-    auto vit = volumes_.find(id.volume);
-    PARADISE_CHECK(vit != volumes_.end());
-    PARADISE_RETURN_IF_ERROR(vit->second->WritePage(id.page_no, f.page));
-    f.dirty = false;
+  Shard& s = shard_for(id);
+  std::lock_guard<std::mutex> g(s.mu);
+  auto it = s.table.find(id);
+  if (it == s.table.end()) return Status::OK();  // not cached: already on disk
+  internal::Frame* f = it->second;
+  if (f->dirty) {
+    DiskVolume* volume = LookupVolume(id.volume, nullptr);
+    PARADISE_CHECK(volume != nullptr);
+    PARADISE_RETURN_IF_ERROR(volume->WritePage(id.page_no, f->page));
+    f->dirty = false;
   }
   return Status::OK();
 }
 
 void BufferPool::DiscardAll() {
-  std::lock_guard<std::mutex> g(mu_);
-  PARADISE_CHECK_MSG(
-      [&] {
-        for (auto& f : frames_) {
-          if (f->in_use && f->pin_count > 0) return false;
-        }
-        return true;
-      }(),
-      "DiscardAll with pinned pages");
-  table_.clear();
-  lru_.clear();
-  free_frames_.clear();
-  for (size_t i = 0; i < frames_.size(); ++i) {
-    Frame& f = *frames_[i];
-    f.in_use = false;
-    f.dirty = false;
-    f.in_lru = false;
-    f.pin_count = 0;
-    free_frames_.push_back(i);
+  for (auto& shard : shards_) {
+    Shard& s = *shard;
+    std::lock_guard<std::mutex> g(s.mu);
+    PARADISE_CHECK_MSG(
+        [&] {
+          for (auto& f : s.frames) {
+            if (f->in_use && f->pin_count > 0) return false;
+          }
+          return true;
+        }(),
+        "DiscardAll with pinned pages");
+    s.table.clear();
+    s.cold.clear();
+    s.hot.clear();
+    s.free_frames.clear();
+    for (auto& frame : s.frames) {
+      internal::Frame& f = *frame;
+      f.in_use = false;
+      f.dirty = false;
+      f.hot = false;
+      f.referenced = false;
+      f.in_lru = false;
+      f.pin_count = 0;
+      s.free_frames.push_back(&f);
+    }
   }
 }
 
 void BufferPool::Invalidate(PageId id) {
-  std::lock_guard<std::mutex> g(mu_);
-  auto it = table_.find(id);
-  if (it == table_.end()) return;
-  size_t index = it->second;
-  Frame& f = *frames_[index];
-  PARADISE_CHECK_MSG(f.pin_count == 0, "invalidating a pinned page");
-  if (f.in_lru) {
-    lru_.erase(f.lru_it);
-    f.in_lru = false;
-  }
-  f.in_use = false;
-  f.dirty = false;
-  table_.erase(it);
-  free_frames_.push_back(index);
+  Shard& s = shard_for(id);
+  std::lock_guard<std::mutex> g(s.mu);
+  auto it = s.table.find(id);
+  if (it == s.table.end()) return;
+  internal::Frame* f = it->second;
+  PARADISE_CHECK_MSG(f->pin_count == 0, "invalidating a pinned page");
+  RemoveFromListLocked(s, f);
+  f->in_use = false;
+  f->dirty = false;
+  f->hot = false;
+  f->referenced = false;
+  s.table.erase(it);
+  s.free_frames.push_back(f);
 }
 
 BufferPool::Stats BufferPool::stats() const {
-  std::lock_guard<std::mutex> g(mu_);
-  return stats_;
+  Stats total;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> g(shard->mu);
+    total.Add(shard->stats);
+  }
+  return total;
 }
 
 }  // namespace paradise::storage

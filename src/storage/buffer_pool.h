@@ -17,12 +17,33 @@ namespace paradise::storage {
 
 class BufferPool;
 
+namespace internal {
+
+/// One buffer frame. Owned by a shard; the pointer is stable for the
+/// frame's lifetime (frames are heap-allocated), so PageGuard can hold it
+/// across shard-table rehashes.
+struct Frame {
+  PageId id;
+  Page page;
+  int pin_count = 0;
+  bool dirty = false;
+  bool in_use = false;
+  bool hot = false;         // segment flag: promoted on re-reference
+  bool referenced = false;  // false until the first Pin (readahead lands
+                            // unreferenced so first use does not promote)
+  uint32_t shard = 0;       // owning shard index
+  std::list<Frame*>::iterator lru_it;  // position in cold/hot list
+  bool in_lru = false;
+};
+
+}  // namespace internal
+
 /// RAII pin on a buffered page. Unpins on destruction; call MarkDirty()
 /// after modifying the frame.
 class PageGuard {
  public:
   PageGuard() = default;
-  PageGuard(BufferPool* pool, size_t frame, Page* page, PageId id)
+  PageGuard(BufferPool* pool, internal::Frame* frame, Page* page, PageId id)
       : pool_(pool), frame_(frame), page_(page), id_(id) {}
 
   PageGuard(PageGuard&& other) noexcept { *this = std::move(other); }
@@ -40,17 +61,47 @@ class PageGuard {
 
  private:
   BufferPool* pool_ = nullptr;
-  size_t frame_ = 0;
+  internal::Frame* frame_ = nullptr;
   Page* page_ = nullptr;
   PageId id_;
 };
 
-/// LRU buffer pool over a set of volumes, one per node (Paradise used a
-/// 32 MB pool per node; the pool size here is in frames). The pool is the
+/// Buffer pool over a set of volumes, one per node (Paradise used a 32 MB
+/// pool per node; the pool size here is in frames). The pool is the
 /// volatile layer: a simulated crash is DiscardAll() without FlushAll().
+///
+/// The pool is sharded: page ids hash to shards, each with its own mutex,
+/// hash table and eviction state, so concurrent executor threads (and
+/// remote pulls landing on this node) do not serialize on one lock.
+/// Consecutive page numbers within a kRunPages-aligned group map to the
+/// same shard, so a readahead window is served under a single shard lock.
+///
+/// Eviction is scan-resistant: a two-segment LRU with midpoint insertion
+/// (à la InnoDB). A page's first touch lands in the cold segment; only a
+/// re-reference promotes it to hot. Victims come from the cold segment
+/// first, so a one-pass table scan can evict at most the cold segment and
+/// never flushes hot index or mapping pages.
 class BufferPool {
  public:
-  explicit BufferPool(size_t capacity_frames);
+  /// Consecutive pages within an aligned group of this size share a shard;
+  /// this is also the natural readahead window (16 pages = 128 KB).
+  static constexpr uint32_t kRunPages = 16;
+
+  /// Hot segment target, in eighths of a shard's capacity (5/8 hot, 3/8
+  /// cold — InnoDB's default midpoint).
+  static constexpr size_t kHotEighths = 5;
+
+  /// Auto-sharding keeps at least this many frames per shard so tiny test
+  /// pools degenerate to one shard with exact single-LRU semantics.
+  static constexpr size_t kMinFramesPerShard = 64;
+
+  /// `num_shards` == 0 picks the default: PARADISE_POOL_SHARDS if set,
+  /// else 2 x hardware_concurrency, rounded up to a power of two and
+  /// clamped so every shard has >= kMinFramesPerShard frames. An explicit
+  /// positive value is rounded up to a power of two and clamped only so
+  /// every shard has >= 1 frame (tests use this to force small sharded
+  /// pools).
+  explicit BufferPool(size_t capacity_frames, int num_shards = 0);
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
@@ -61,7 +112,7 @@ class BufferPool {
   /// miss path. Each retry charges exponential backoff to the volume's
   /// clock as modeled idle time.
   void set_retry_policy(const sim::RetryPolicy& policy) {
-    std::lock_guard<std::mutex> g(mu_);
+    std::lock_guard<std::mutex> g(config_mu_);
     retry_policy_ = policy;
   }
 
@@ -74,6 +125,20 @@ class BufferPool {
   /// Allocates a fresh page on `volume` and pins it (no disk read).
   StatusOr<PageGuard> NewPage(uint32_t volume);
 
+  /// Advisory readahead: loads `[first, first+count)` into the pool
+  /// without pinning. Pages already resident are skipped; the misses are
+  /// grouped into maximal consecutive runs and fetched from the volume in
+  /// one ReadRun each — charged as one positioning cost plus N sequential
+  /// transfers. Loaded pages land unpinned in the cold segment, so
+  /// readahead can never push hot pages out. Failures are retried under
+  /// the retry policy and then dropped (the later Pin surfaces the error);
+  /// fault ordinals stay per-page, consulted in page order.
+  void Prefetch(PageId first, uint32_t count);
+
+  /// Pins the consecutive range `[first, first+count)`, using Prefetch to
+  /// batch the misses. Guards are returned in page order.
+  StatusOr<std::vector<PageGuard>> PinRange(PageId first, uint32_t count);
+
   Status FlushAll();
   Status FlushPage(PageId id);
 
@@ -85,48 +150,95 @@ class BufferPool {
   void Invalidate(PageId id);
 
   struct Stats {
-    int64_t hits = 0;
-    int64_t misses = 0;
+    int64_t hits = 0;    // includes pins served from readahead
+    int64_t misses = 0;  // demand fetches only (readahead loads excluded)
     int64_t evictions = 0;
     int64_t dirty_writebacks = 0;
-    int64_t read_retries = 0;       // re-reads after a transient error
-    int64_t checksum_failures = 0;  // fetches that failed verification
+    int64_t read_retries = 0;        // re-reads after a transient error
+    int64_t checksum_failures = 0;   // fetches that failed verification
+    int64_t readahead_batches = 0;   // ReadRun calls issued by Prefetch
+    int64_t readahead_pages = 0;     // pages loaded by Prefetch
+    int64_t promotions = 0;          // cold -> hot on re-reference
+
+    double hit_rate() const {
+      int64_t total = hits + misses;
+      return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+    }
+    void Add(const Stats& o) {
+      hits += o.hits;
+      misses += o.misses;
+      evictions += o.evictions;
+      dirty_writebacks += o.dirty_writebacks;
+      read_retries += o.read_retries;
+      checksum_failures += o.checksum_failures;
+      readahead_batches += o.readahead_batches;
+      readahead_pages += o.readahead_pages;
+      promotions += o.promotions;
+    }
   };
+  /// Aggregated over all shards.
   Stats stats() const;
 
   size_t capacity() const { return capacity_; }
+  int num_shards() const { return static_cast<int>(shards_.size()); }
 
  private:
   friend class PageGuard;
 
-  struct Frame {
-    PageId id;
-    Page page;
-    int pin_count = 0;
-    bool dirty = false;
-    bool in_use = false;
-    std::list<size_t>::iterator lru_it;  // valid only when unpinned
-    bool in_lru = false;
+  struct Shard {
+    mutable std::mutex mu;
+    uint32_t index = 0;
+    size_t capacity = 0;
+    std::vector<std::unique_ptr<internal::Frame>> frames;
+    std::vector<internal::Frame*> free_frames;
+    std::unordered_map<PageId, internal::Frame*, PageIdHash> table;
+    // Two-segment LRU; front = next eviction candidate. Lists hold only
+    // unpinned in-use frames.
+    std::list<internal::Frame*> cold;
+    std::list<internal::Frame*> hot;
+    Stats stats;
   };
 
-  void Unpin(size_t frame_index);
-  void MarkDirtyFrame(size_t frame_index);
+  Shard& shard_for(PageId id) {
+    PageId group{id.volume, id.page_no / kRunPages};
+    return *shards_[PageIdHash()(group) & shard_mask_];
+  }
 
-  // All three require mu_ held.
-  StatusOr<size_t> FindVictimLocked();
-  Status EvictLocked(size_t frame_index);
-  Status ReadPageVerifiedLocked(DiskVolume* volume, PageNo page_no,
-                                Page* out);
+  void Unpin(internal::Frame* frame);
+  void MarkDirtyFrame(internal::Frame* frame);
+
+  /// Copies the volume pointer and retry policy under config_mu_. Returns
+  /// null if the volume is unknown.
+  DiskVolume* LookupVolume(uint32_t volume, sim::RetryPolicy* policy) const;
+
+  // All of the below require the shard's mutex.
+  StatusOr<internal::Frame*> FindVictimLocked(Shard& s);
+  Status EvictLocked(Shard& s, internal::Frame* f);
+  void RemoveFromListLocked(Shard& s, internal::Frame* f);
+  /// Pushes an unpinned frame onto its segment's MRU end and rebalances
+  /// the hot segment toward its kHotEighths/8 target.
+  void PushUnpinnedLocked(Shard& s, internal::Frame* f);
+  /// Verified read with bounded retries. `first_attempt` > 0 resumes the
+  /// retry budget after an attempt already made elsewhere (the readahead
+  /// batch); `last` carries that attempt's failure.
+  Status ReadPageVerifiedLocked(Shard& s, DiskVolume* volume,
+                                const sim::RetryPolicy& policy,
+                                PageNo page_no, Page* out, int first_attempt,
+                                Status last);
+  /// One readahead window, entirely within shard `s` (the caller aligns
+  /// windows to kRunPages groups). Takes the shard mutex itself.
+  void PrefetchWindow(Shard& s, DiskVolume* volume,
+                      const sim::RetryPolicy& policy, PageId first,
+                      uint32_t count);
 
   const size_t capacity_;
+  size_t shard_mask_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
 
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<Frame>> frames_;
-  std::vector<size_t> free_frames_;  // allocated but not holding a page
-  std::unordered_map<PageId, size_t, PageIdHash> table_;
-  std::list<size_t> lru_;  // front = least recently used
+  // Guards volume registration and the retry policy; always taken either
+  // standalone or nested inside a shard mutex, never the other way.
+  mutable std::mutex config_mu_;
   std::unordered_map<uint32_t, DiskVolume*> volumes_;
-  Stats stats_;
   sim::RetryPolicy retry_policy_;
 };
 

@@ -47,12 +47,7 @@ void DiskVolume::ChargeAccess(PageNo page_no, bool is_write) {
   last_accessed_ = page_no;
 }
 
-Status DiskVolume::ReadPage(PageNo page_no, Page* out) {
-  std::lock_guard<std::mutex> g(mu_);
-  if (page_no >= pages_.size()) {
-    return Status::OutOfRange("read past end of volume");
-  }
-  ChargeAccess(page_no, /*is_write=*/false);
+Status DiskVolume::ReadPageLocked(PageNo page_no, Page* out) {
   sim::DiskFaultKind fault = sim::DiskFaultKind::kNone;
   if (fault_injector_ != nullptr) {
     fault = fault_injector_->OnDiskRead(fault_node_id_, volume_id_, page_no,
@@ -72,6 +67,38 @@ Status DiskVolume::ReadPage(PageNo page_no, Page* out) {
     }
     out->set_stored_checksum(out->stored_checksum() ^ 0xdeadbeefu);
     if (out->stored_checksum() == 0) out->set_stored_checksum(0xdeadbeefu);
+  }
+  return Status::OK();
+}
+
+Status DiskVolume::ReadPage(PageNo page_no, Page* out) {
+  std::lock_guard<std::mutex> g(mu_);
+  if (page_no >= pages_.size()) {
+    return Status::OutOfRange("read past end of volume");
+  }
+  ChargeAccess(page_no, /*is_write=*/false);
+  return ReadPageLocked(page_no, out);
+}
+
+Status DiskVolume::ReadRun(PageNo first, uint32_t count, Page* const* outs,
+                           Status* statuses) {
+  if (count == 0) return Status::OK();
+  std::lock_guard<std::mutex> g(mu_);
+  if (first + static_cast<uint64_t>(count) > pages_.size()) {
+    return Status::OutOfRange("run read past end of volume");
+  }
+  if (clock_ != nullptr) {
+    // One positioning cost for the whole run (zero when it continues the
+    // previous access), then every page is a sequential transfer.
+    bool sequential =
+        (last_accessed_ != kInvalidPageNo && first == last_accessed_ + 1);
+    clock_->ChargeDiskRead(static_cast<int64_t>(count) *
+                               static_cast<int64_t>(kPageSize),
+                           sequential ? 0 : 1);
+    last_accessed_ = first + count - 1;
+  }
+  for (uint32_t i = 0; i < count; ++i) {
+    statuses[i] = ReadPageLocked(first + i, outs[i]);
   }
   return Status::OK();
 }

@@ -45,6 +45,17 @@ class DiskVolume {
   /// a retry after checksum detection succeeds).
   Status ReadPage(PageNo page_no, Page* out);
 
+  /// Batched read of `count` consecutive pages starting at `first` into
+  /// `outs[0..count)`. Charged atomically as one positioning cost (zero if
+  /// the run continues the previous access) plus `count` sequential
+  /// transfers — the readahead path's whole point. Fault injection is
+  /// consulted once per page in page order with the page's own read
+  /// ordinal, so a batch fetch makes exactly the fault decisions the same
+  /// pages would see read one at a time; per-page outcomes land in
+  /// `statuses[0..count)`. Returns non-OK only for a bad range.
+  Status ReadRun(PageNo first, uint32_t count, Page* const* outs,
+                 Status* statuses);
+
   /// Writes a page, stamping the durable copy's checksum.
   Status WritePage(PageNo page_no, const Page& page);
 
@@ -61,6 +72,10 @@ class DiskVolume {
 
  private:
   void ChargeAccess(PageNo page_no, bool is_write);
+
+  /// Copies the durable page into `out`, applying any injected fault for
+  /// this page's next read ordinal. Requires mu_ held; does not charge.
+  Status ReadPageLocked(PageNo page_no, Page* out);
 
   const uint32_t volume_id_;
   sim::NodeClock* const clock_;

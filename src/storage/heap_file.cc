@@ -192,14 +192,37 @@ bool HeapFile::Iterator::Next(Oid* oid, ByteBuffer* record) {
   std::lock_guard<std::mutex> g(file_->mu_);
   while (page_index_ < file_->pages_.size()) {
     PageNo page_no = file_->pages_[page_index_];
-    auto guard_or =
-        file_->pool_->Pin(PageId{file_->volume_id_, page_no});
-    PARADISE_CHECK_MSG(guard_or.ok(), guard_or.status().ToString().c_str());
-    PageGuard guard = std::move(guard_or).value();
-    SlottedPage sp(guard.page());
+    if (guard_index_ != page_index_ || !guard_.valid()) {
+      // Batched readahead for the upcoming window: group the page numbers
+      // into maximal consecutive runs so each run is one positioning cost
+      // plus sequential transfers (and one shard visit) in the pool.
+      if (page_index_ >= prefetched_until_) {
+        size_t end = std::min(file_->pages_.size(),
+                              page_index_ + kReadaheadPages);
+        size_t i = page_index_;
+        while (i < end) {
+          PageNo run_first = file_->pages_[i];
+          uint32_t run_len = 1;
+          while (i + run_len < end &&
+                 file_->pages_[i + run_len] == run_first + run_len) {
+            ++run_len;
+          }
+          file_->pool_->Prefetch(PageId{file_->volume_id_, run_first},
+                                 run_len);
+          i += run_len;
+        }
+        prefetched_until_ = end;
+      }
+      auto guard_or = file_->pool_->Pin(PageId{file_->volume_id_, page_no});
+      PARADISE_CHECK_MSG(guard_or.ok(), guard_or.status().ToString().c_str());
+      guard_ = std::move(guard_or).value();
+      guard_index_ = page_index_;
+    }
+    SlottedPage sp(guard_.page());
     if (sp.NeedsInit()) {
       ++page_index_;
       slot_ = 0;
+      guard_.Release();
       continue;
     }
     while (slot_ < sp.SlotCount()) {
@@ -212,7 +235,9 @@ bool HeapFile::Iterator::Next(Oid* oid, ByteBuffer* record) {
     }
     ++page_index_;
     slot_ = 0;
+    guard_.Release();
   }
+  guard_.Release();
   return false;
 }
 

@@ -52,17 +52,31 @@ class HeapFile {
   Status ApplyDelete(const Oid& oid, Lsn lsn);
   Status ApplyUpdate(const Oid& oid, const ByteBuffer& record, Lsn lsn);
 
-  /// Sequential scan. Visits records in (page, slot) order.
+  /// Sequential scan. Visits records in (page, slot) order. The iterator
+  /// keeps the current page pinned between Next() calls (one pool pin per
+  /// page instead of one per record) and issues batched readahead for the
+  /// upcoming window of pages, so a scan is charged one positioning cost
+  /// plus sequential transfers per consecutive run. Move-only; destroy the
+  /// iterator before Destroy()ing the file.
   class Iterator {
    public:
     explicit Iterator(const HeapFile* file) : file_(file) {}
+    Iterator(Iterator&&) = default;
+    Iterator& operator=(Iterator&&) = default;
     /// Returns false at end of file.
     bool Next(Oid* oid, ByteBuffer* record);
 
    private:
+    /// Pages of upcoming readahead per batch; kept at the pool's shard-run
+    /// granularity so each window is served under one shard lock.
+    static constexpr size_t kReadaheadPages = 16;
+
     const HeapFile* file_;
     size_t page_index_ = 0;
     uint16_t slot_ = 0;
+    PageGuard guard_;                // pin on pages_[guard_index_]
+    size_t guard_index_ = SIZE_MAX;  // which page the guard covers
+    size_t prefetched_until_ = 0;    // pages_[0..this) already prefetched
   };
   Iterator NewIterator() const { return Iterator(this); }
 

@@ -41,16 +41,27 @@ class LargeObjectStore {
   StatusOr<ByteBuffer> Read(const LobId& id) const;
 
   /// Reads only `[offset, offset+length)`, touching only the pages that
-  /// range covers — the "fetch only the needed subarray" behaviour.
+  /// range covers — the "fetch only the needed subarray" behaviour. Pages
+  /// are pinned in batched windows (BufferPool::PinRange), so a cold read
+  /// of a run costs one positioning charge plus sequential transfers.
   StatusOr<ByteBuffer> ReadRange(const LobId& id, size_t offset,
                                  size_t length) const;
+
+  /// Advisory readahead of the object's whole page run into the pool.
+  void Prefetch(const LobId& id) const {
+    pool_->Prefetch(PageId{id.volume, id.first_page}, id.num_pages);
+  }
 
   void Free(const LobId& id);
 
   uint32_t volume_id() const { return volume_->volume_id(); }
+  size_t pool_capacity() const { return pool_->capacity(); }
 
  private:
   static constexpr size_t kBytesPerPage = Page::kPayloadSize;
+  /// Pages pinned at once by ReadRange; bounds pin pressure on small pools
+  /// while still batching two shard-run groups per window.
+  static constexpr uint32_t kPinWindowPages = 32;
 
   BufferPool* const pool_;
   DiskVolume* const volume_;
