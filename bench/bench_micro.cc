@@ -13,6 +13,7 @@
 #include "bench/bench_util.h"
 #include "codec/lzw.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "exec/spatial_join.h"
 #include "index/b_plus_tree.h"
 #include "index/r_star_tree.h"
@@ -182,6 +183,22 @@ BENCHMARK(BM_PbsmJoin)
     ->Args({2000, 64})
     ->Args({8000, 64});
 
+void BM_PbsmJoinParallel(benchmark::State& state) {
+  Rng rng(5);
+  TupleVec left = MakeLines(&rng, 8000);
+  TupleVec right = MakeLines(&rng, 8000);
+  paradise::common::ThreadPool pool(static_cast<int>(state.range(0)));
+  ExecContext ctx;
+  ctx.pool = &pool;
+  paradise::exec::PbsmOptions opts;
+  opts.num_partitions = 64;
+  for (auto _ : state) {
+    auto r = paradise::exec::PbsmSpatialJoin(left, 1, right, 1, ctx, opts);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_PbsmJoinParallel)->Arg(1)->Arg(2)->Arg(8);
+
 // ---------- Query-level section ----------
 
 paradise::storage::BufferPool::Stats PoolStatsAllNodes(
@@ -209,7 +226,7 @@ std::vector<paradise::bench::QueryPerfSample> RunQuerySection() {
               "modeled_s", "hit_rate", "misses", "ra_batch", "ra_pages");
 
   std::vector<paradise::bench::QueryPerfSample> samples;
-  for (int query : {2, 5, 11, 12}) {
+  for (int query : {2, 5, 11, 12, 13}) {
     BufferPool::Stats before = PoolStatsAllNodes(loaded.cluster.get());
     Clock::time_point t0 = Clock::now();
     double modeled =
@@ -232,6 +249,65 @@ std::vector<paradise::bench::QueryPerfSample> RunQuerySection() {
   return samples;
 }
 
+// ---------- Spatial-join section ----------
+
+/// Standalone PBSM and index-NL joins, reported in the same JSON rows as
+/// the queries: wall clock for the host-perf gate, modeled seconds for
+/// cost-model drift. The 1- and 8-thread PBSM rows must report identical
+/// modeled seconds (the determinism contract); the gate then watches both.
+std::vector<paradise::bench::QueryPerfSample> RunSpatialJoinSection() {
+  using Clock = std::chrono::steady_clock;
+  paradise::sim::CostModel model;
+  Rng rng(6);
+  TupleVec left = MakeLines(&rng, 6000);
+  TupleVec right = MakeLines(&rng, 6000);
+  paradise::exec::PbsmOptions opts;
+  opts.num_partitions = 64;
+
+  std::vector<paradise::bench::QueryPerfSample> samples;
+  auto run_pbsm = [&](const std::string& name, int threads) {
+    paradise::common::ThreadPool pool(threads);
+    paradise::sim::NodeClock clock;
+    ExecContext ctx;
+    ctx.clock = &clock;
+    ctx.pool = &pool;
+    Clock::time_point t0 = Clock::now();
+    auto r = paradise::exec::PbsmSpatialJoin(left, 1, right, 1, ctx, opts);
+    double wall = std::chrono::duration<double>(Clock::now() - t0).count();
+    if (!r.ok()) {
+      std::fprintf(stderr, "%s failed\n", name.c_str());
+      std::exit(1);
+    }
+    samples.push_back({name, wall, model.Seconds(clock.EndPhase())});
+  };
+  run_pbsm("pbsm_join_1t", 1);
+  run_pbsm("pbsm_join_8t", 8);
+
+  {
+    ExecContext no_charge;
+    auto tree = paradise::exec::BuildRTreeOnColumn(right, 1, no_charge);
+    paradise::sim::NodeClock clock;
+    ExecContext ctx;
+    ctx.clock = &clock;
+    Clock::time_point t0 = Clock::now();
+    auto r =
+        paradise::exec::IndexSpatialJoin(left, 1, right, 1, *tree, ctx);
+    double wall = std::chrono::duration<double>(Clock::now() - t0).count();
+    if (!r.ok()) {
+      std::fprintf(stderr, "index_join failed\n");
+      std::exit(1);
+    }
+    samples.push_back({"index_join", wall, model.Seconds(clock.EndPhase())});
+  }
+
+  std::printf("\nspatial-join section:\n");
+  for (const auto& s : samples) {
+    std::printf("%-14s %10.1f ms  modeled %12.6f s\n", s.name.c_str(),
+                s.wall_seconds * 1e3, s.modeled_seconds);
+  }
+  return samples;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -241,6 +317,8 @@ int main(int argc, char** argv) {
   ::benchmark::RunSpecifiedBenchmarks();
   ::benchmark::Shutdown();
   std::vector<paradise::bench::QueryPerfSample> samples = RunQuerySection();
+  std::vector<paradise::bench::QueryPerfSample> joins = RunSpatialJoinSection();
+  samples.insert(samples.end(), joins.begin(), joins.end());
   if (!json_path.empty()) {
     paradise::bench::WriteBenchJson(json_path, "bench_micro", samples);
     std::printf("wrote %s\n", json_path.c_str());

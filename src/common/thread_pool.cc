@@ -24,16 +24,23 @@ ThreadPool::~ThreadPool() {
   for (std::thread& t : workers_) t.join();
 }
 
+ThreadPool::Batch* ThreadPool::FindWorkLocked() {
+  for (Batch* b : batches_) {
+    if (b->HasWork()) return b;
+  }
+  return nullptr;
+}
+
 void ThreadPool::WorkerLoop() {
   std::unique_lock<std::mutex> lock(mu_);
-  uint64_t seen_gen = 0;
   for (;;) {
-    work_cv_.wait(lock, [this, seen_gen] {
-      return shutdown_ || (batch_ != nullptr && batch_gen_ != seen_gen);
-    });
+    work_cv_.wait(lock,
+                  [this] { return shutdown_ || FindWorkLocked() != nullptr; });
     if (shutdown_) return;
-    seen_gen = batch_gen_;
-    RunBatch(batch_, &lock);
+    // Oldest batch first: nested (newer) batches are always driven by
+    // their own caller, so favoring the outer batch keeps phase-level
+    // parallelism wide without starving inner joins.
+    if (Batch* batch = FindWorkLocked()) RunBatch(batch, &lock);
   }
 }
 
@@ -59,7 +66,7 @@ void ThreadPool::ParallelFor(int count, const std::function<void(int)>& fn) {
   if (count <= 0) return;
   if (workers_.empty()) {
     // Match the pooled semantics: run every index, rethrow the first
-    // exception at the barrier.
+    // exception at the barrier. Inline loops nest trivially.
     std::exception_ptr error;
     for (int i = 0; i < count; ++i) {
       try {
@@ -75,15 +82,14 @@ void ThreadPool::ParallelFor(int count, const std::function<void(int)>& fn) {
   batch.fn = &fn;
   batch.count = count;
   std::unique_lock<std::mutex> lock(mu_);
-  PARADISE_CHECK(batch_ == nullptr);  // no nested/concurrent ParallelFor
-  batch_ = &batch;
-  ++batch_gen_;
+  batches_.push_back(&batch);
   work_cv_.notify_all();
+  // The caller drives its own batch to completion, so even a nested
+  // ParallelFor (posted while every worker is busy in the outer batch)
+  // always progresses.
   RunBatch(&batch, &lock);
-  done_cv_.wait(lock, [&batch] {
-    return batch.next >= batch.count && batch.active == 0;
-  });
-  batch_ = nullptr;
+  done_cv_.wait(lock, [&batch] { return batch.Done(); });
+  batches_.erase(std::find(batches_.begin(), batches_.end(), &batch));
   if (batch.error) std::rethrow_exception(batch.error);
 }
 

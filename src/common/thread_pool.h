@@ -16,6 +16,13 @@ namespace paradise::common {
 /// exactly that much concurrency with `num_threads - 1` spawned workers.
 /// With `num_threads <= 1` no workers exist and ParallelFor degenerates to
 /// an inline loop on the caller — the PARADISE_THREADS=1 debugging mode.
+///
+/// ParallelFor nests: a task running inside one batch may issue its own
+/// ParallelFor (the node-phase closure fanning a spatial join out over its
+/// partitions). The inner call posts a second batch that idle workers join
+/// while outer tasks keep draining; the inner caller always participates
+/// in its own batch, so nesting can never deadlock even with every worker
+/// busy.
 class ThreadPool {
  public:
   explicit ThreadPool(int num_threads);
@@ -32,8 +39,8 @@ class ThreadPool {
   /// exception is captured and rethrown here after the barrier (remaining
   /// indexes still run; the process never terminates from a worker
   /// thread). Prefer reporting expected failures out-of-band (e.g. a
-  /// per-index Status slot). Only one ParallelFor may be active on a pool
-  /// at a time.
+  /// per-index Status slot). May be called from inside a running batch;
+  /// the nested batch is drained by its caller plus any idle workers.
   void ParallelFor(int count, const std::function<void(int)>& fn);
 
   /// PARADISE_THREADS when set to a positive integer, else the hardware
@@ -47,6 +54,9 @@ class ThreadPool {
     int next = 0;    // next unclaimed index; guarded by mu_
     int active = 0;  // threads currently inside fn; guarded by mu_
     std::exception_ptr error;  // first exception thrown; guarded by mu_
+
+    bool HasWork() const { return next < count; }
+    bool Done() const { return next >= count && active == 0; }
   };
 
   void WorkerLoop();
@@ -54,13 +64,14 @@ class ThreadPool {
   /// hold mu_ on entry; it is released around each fn call and held again
   /// on return.
   void RunBatch(Batch* batch, std::unique_lock<std::mutex>* lock);
+  /// First posted batch with unclaimed indexes, or null. Requires mu_.
+  Batch* FindWorkLocked();
 
   const int num_threads_;
   std::mutex mu_;
   std::condition_variable work_cv_;  // workers: new batch or shutdown
-  std::condition_variable done_cv_;  // ParallelFor: batch fully drained
-  Batch* batch_ = nullptr;           // non-null while a batch is posted
-  uint64_t batch_gen_ = 0;           // bumped per posted batch
+  std::condition_variable done_cv_;  // ParallelFor: some batch fully drained
+  std::vector<Batch*> batches_;      // posted batches, oldest first
   bool shutdown_ = false;
   std::vector<std::thread> workers_;
 };

@@ -26,6 +26,7 @@ NodeExecContext MakeNodeContext(Cluster* cluster, int node) {
   out.ctx.node_id = static_cast<uint32_t>(node);
   out.ctx.clock = cluster->node(node).clock();
   out.ctx.temp_store = cluster->node(node).temp_store();
+  out.ctx.pool = cluster->thread_pool();
   out.ctx.tile_source = [pull](uint32_t) -> array::TileSource* {
     return pull;  // dispatches local vs remote per tile
   };
@@ -42,6 +43,7 @@ NodeExecContext MakeCoordinatorContext(Cluster* cluster) {
   out.ctx.node_id = 0;
   out.ctx.clock = cluster->coordinator_clock();
   out.ctx.temp_store = cluster->node(0).temp_store();
+  out.ctx.pool = cluster->thread_pool();
   out.ctx.tile_source = [pull](uint32_t) -> array::TileSource* {
     return pull;
   };
@@ -319,6 +321,13 @@ StatusOr<PerNode> ParallelSpatialJoin(QueryCoordinator* coord,
   Cluster* cluster = coord->cluster();
   int N = cluster->num_nodes();
   SpatialGrid grid(universe, opts.tiles_per_axis, static_cast<uint32_t>(N));
+  // Mirror the tables' post-crash tile remapping (ParallelTable does the
+  // same on redecluster): a dead node's tiles rehash over the survivors.
+  // Without this, the reference-point filter below asks for the dead
+  // node's vote and its pairs vanish from the answer.
+  for (int n = 0; n < N; ++n) {
+    if (!cluster->alive(n)) grid.MarkNodeDead(static_cast<uint32_t>(n));
+  }
 
   // Phase 1: spatial redeclustering with replication (skipped for inputs
   // already declustered on this grid).

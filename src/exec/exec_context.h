@@ -8,17 +8,58 @@
 #include "sim/node_clock.h"
 #include "storage/large_object.h"
 
+namespace paradise::common {
+class ThreadPool;
+}  // namespace paradise::common
+
 namespace paradise::exec {
+
+/// Partition-shape counters the PBSM join reports when the context carries
+/// a stats sink: how evenly the cell→partition map spread the inputs and
+/// how much boundary replication it caused. `max/mean partition items` are
+/// over the combined left+right entry counts of non-empty partitions; a
+/// map that clusters adjacent hot cells into one partition shows up as
+/// max >> mean.
+struct PbsmJoinStats {
+  size_t partitions = 0;          // P actually used
+  size_t cells_per_axis = 0;      // grid resolution
+  int64_t left_tuples = 0;        // input cardinalities
+  int64_t right_tuples = 0;
+  int64_t left_items = 0;         // partition entries, replicas included
+  int64_t right_items = 0;
+  int64_t max_partition_items = 0;
+  double mean_partition_items = 0.0;
+  int64_t parallel_tasks = 0;     // partition sweeps run as pool tasks
+
+  /// Replication factor: partition entries per input tuple (1.0 = none).
+  double replication() const {
+    int64_t tuples = left_tuples + right_tuples;
+    return tuples == 0 ? 0.0
+                       : static_cast<double>(left_items + right_items) /
+                             static_cast<double>(tuples);
+  }
+};
 
 /// Everything an operator needs from the node it runs on: the node's
 /// virtual clock for cost charging, a store for large attributes created
-/// mid-query (Section 2.5.2's per-operator files), and a way to read tiles
+/// mid-query (Section 2.5.2's per-operator files), a way to read tiles
 /// of rasters owned by *any* node — the local store directly, or the pull
-/// protocol for remote owners.
+/// protocol for remote owners — and the worker pool for intra-node
+/// parallelism (partition-to-threads joins).
 struct ExecContext {
   uint32_t node_id = 0;
   sim::NodeClock* clock = nullptr;                 // may be null in tests
   storage::LargeObjectStore* temp_store = nullptr; // for created large attrs
+
+  /// Worker pool for intra-operator parallelism; null (or 1 thread) runs
+  /// the operator's tasks inline. Operators must keep their modeled
+  /// charges and output order independent of this setting: tasks
+  /// accumulate onto task-local clocks and are merged in task order.
+  common::ThreadPool* pool = nullptr;
+
+  /// Optional stats sink filled by PbsmSpatialJoin (skew / replication of
+  /// the cell→partition map). Not owned; may be null.
+  PbsmJoinStats* pbsm_stats = nullptr;
 
   /// Returns a TileSource able to read tiles of arrays owned by
   /// `owner_node`. The returned pointer stays valid for the query.
@@ -26,6 +67,10 @@ struct ExecContext {
 
   void ChargeCpu(double ops) const {
     if (clock != nullptr) clock->ChargeCpu(ops);
+  }
+
+  void ChargeUsage(const sim::ResourceUsage& usage) const {
+    if (clock != nullptr) clock->ChargeUsage(usage);
   }
 
   array::TileSource* SourceFor(uint32_t owner_node) const {

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "sim/cost_model.h"
 #include "storage/page.h"
 
@@ -19,6 +20,60 @@ struct Item {
   Box box;
   uint32_t row;
 };
+
+/// SplitMix64 finalizer: decorrelates block coordinates so neighbouring
+/// blocks start their round-robin at unrelated partitions.
+uint64_t Mix64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Cells per block side for CellMap::kBlockHash. Small enough that one
+/// clustered query region still spans several blocks, large enough that
+/// the round-robin inside a block covers many partitions.
+constexpr size_t kCellBlock = 4;
+
+/// Cell→partition map. Must be a pure function of (cell, P) — the
+/// distribute phase and the reference-point duplicate-elimination rule
+/// both evaluate it and must agree.
+size_t PartitionOfCell(size_t cell, size_t cells_axis, size_t P,
+                       PbsmOptions::CellMap map) {
+  if (map == PbsmOptions::CellMap::kModulo) return cell % P;
+  size_t cx = cell % cells_axis;
+  size_t cy = cell / cells_axis;
+  uint64_t block =
+      static_cast<uint64_t>(cy / kCellBlock) * 0x1000193u + (cx / kCellBlock);
+  size_t within = (cy % kCellBlock) * kCellBlock + (cx % kCellBlock);
+  return static_cast<size_t>((Mix64(block) + within) % P);
+}
+
+/// Runs every index of [0, count) through `fn`, on the pool when it has
+/// real workers and the fan-out is non-trivial, inline otherwise. Caller
+/// guarantees fn(i) touches only slot-i state, so the modeled outcome is
+/// identical either way; only wall-clock changes.
+void ForEachTask(common::ThreadPool* pool, size_t count,
+                 const std::function<void(size_t)>& fn) {
+  if (pool != nullptr && pool->num_threads() > 1 && count > 1) {
+    pool->ParallelFor(static_cast<int>(count),
+                      [&fn](int i) { fn(static_cast<size_t>(i)); });
+  } else {
+    for (size_t i = 0; i < count; ++i) fn(i);
+  }
+}
+
+/// A task-local execution context: same node services, but charges land on
+/// `task_clock` and nested operators never re-enter the pool.
+ExecContext TaskContext(const ExecContext& ctx, sim::NodeClock* task_clock) {
+  ExecContext task = ctx;
+  task.clock = task_clock;
+  task.pool = nullptr;
+  task.pbsm_stats = nullptr;
+  return task;
+}
 
 /// Maps a point to its grid cell (clamped to the grid).
 struct Grid {
@@ -82,33 +137,38 @@ StatusOr<TupleVec> PbsmSpatialJoin(const TupleVec& left, size_t left_col,
     universe = universe.Inflate(1.0);
   }
 
-  size_t P = std::max<size_t>(1, options.num_partitions);
+  const size_t P = std::max<size_t>(1, options.num_partitions);
   size_t cells_axis = options.cells_per_axis;
   if (cells_axis == 0) {
     cells_axis = std::max<size_t>(
         1, static_cast<size_t>(std::ceil(std::sqrt(16.0 * P))));
   }
   Grid grid{universe, cells_axis, cells_axis};
-  size_t num_cells = cells_axis * cells_axis;
-  auto partition_of_cell = [&](size_t cell) { return cell % P; };
+  auto partition_of_cell = [cells_axis, P, map = options.cell_map](size_t c) {
+    return PartitionOfCell(c, cells_axis, P, map);
+  };
 
   // Phase 1: replicate each tuple's (MBR, row) into every partition whose
-  // cells its MBR overlaps.
+  // cells its MBR overlaps. Runs on the calling thread, charging the node
+  // clock directly — one fixed charge order at any thread count. The
+  // duplicate guard is an epoch-stamped array: bumping the epoch retires
+  // every stamp at once, instead of an O(P) refill per tuple.
   auto distribute = [&](const TupleVec& tuples, size_t col,
                         std::vector<std::vector<Item>>* parts) {
     parts->assign(P, {});
-    std::vector<uint8_t> seen(P, 0);
+    std::vector<uint32_t> seen_epoch(P, 0);
+    uint32_t epoch = 0;
     for (uint32_t i = 0; i < tuples.size(); ++i) {
       ctx.ChargeCpu(sim::cpu_cost::kTupleOverhead);
       Box b = tuples[i].at(col).Mbr();
       size_t cx0, cy0, cx1, cy1;
       grid.CellRange(b, &cx0, &cy0, &cx1, &cy1);
-      std::fill(seen.begin(), seen.end(), 0);
+      ++epoch;
       for (size_t cy = cy0; cy <= cy1; ++cy) {
         for (size_t cx = cx0; cx <= cx1; ++cx) {
           size_t p = partition_of_cell(cy * cells_axis + cx);
-          if (!seen[p]) {
-            seen[p] = 1;
+          if (seen_epoch[p] != epoch) {
+            seen_epoch[p] = epoch;
             (*parts)[p].push_back(Item{b, i});
           }
         }
@@ -118,13 +178,51 @@ StatusOr<TupleVec> PbsmSpatialJoin(const TupleVec& left, size_t left_col,
   std::vector<std::vector<Item>> left_parts, right_parts;
   distribute(left, left_col, &left_parts);
   distribute(right, right_col, &right_parts);
-  (void)num_cells;
+
+  if (ctx.pbsm_stats != nullptr) {
+    PbsmJoinStats& st = *ctx.pbsm_stats;
+    st.partitions = P;
+    st.cells_per_axis = cells_axis;
+    st.left_tuples = static_cast<int64_t>(left.size());
+    st.right_tuples = static_cast<int64_t>(right.size());
+    st.left_items = st.right_items = st.max_partition_items = 0;
+    st.mean_partition_items = 0.0;
+    st.parallel_tasks = 0;
+    size_t nonempty = 0;
+    for (size_t p = 0; p < P; ++p) {
+      int64_t l = static_cast<int64_t>(left_parts[p].size());
+      int64_t r = static_cast<int64_t>(right_parts[p].size());
+      st.left_items += l;
+      st.right_items += r;
+      st.max_partition_items = std::max(st.max_partition_items, l + r);
+      if (l + r > 0) ++nonempty;
+    }
+    if (nonempty > 0) {
+      st.mean_partition_items =
+          static_cast<double>(st.left_items + st.right_items) /
+          static_cast<double>(nonempty);
+    }
+  }
 
   // Phase 2: per partition, plane sweep on xmin for candidate pairs.
-  for (size_t p = 0; p < P; ++p) {
+  // Partition-to-threads: every partition is one task with its own clock
+  // and output vector, merged in partition order after the barrier — so
+  // the charge totals and the result order depend only on the partition
+  // decomposition, never on which thread ran which partition when.
+  struct PartitionTask {
+    Status status = Status::OK();
+    TupleVec out;
+    sim::ResourceUsage usage;
+  };
+  std::vector<PartitionTask> tasks(P);
+  auto sweep_partition = [&](size_t p) {
+    PartitionTask& task = tasks[p];
     std::vector<Item>& L = left_parts[p];
     std::vector<Item>& R = right_parts[p];
-    if (L.empty() || R.empty()) continue;
+    if (L.empty() || R.empty()) return;
+    sim::NodeClock task_clock;
+    ExecContext task_ctx = TaskContext(ctx, &task_clock);
+
     auto by_xmin = [](const Item& a, const Item& b) {
       return a.box.xmin < b.box.xmin;
     };
@@ -132,12 +230,12 @@ StatusOr<TupleVec> PbsmSpatialJoin(const TupleVec& left, size_t left_col,
     std::sort(R.begin(), R.end(), by_xmin);
     double nl = static_cast<double>(L.size());
     double nr = static_cast<double>(R.size());
-    ctx.ChargeCpu((nl * std::log2(nl + 1) + nr * std::log2(nr + 1)) *
-                  sim::cpu_cost::kCompare);
+    task_ctx.ChargeCpu((nl * std::log2(nl + 1) + nr * std::log2(nr + 1)) *
+                       sim::cpu_cost::kCompare);
 
     auto sweep_pair = [&](const Item& a, const Item& b,
                           bool a_is_left) -> Status {
-      ctx.ChargeCpu(sim::cpu_cost::kCompare);
+      task_ctx.ChargeCpu(sim::cpu_cost::kCompare);
       if (!a.box.Intersects(b.box)) return Status::OK();
       const Item& li = a_is_left ? a : b;
       const Item& ri = a_is_left ? b : a;
@@ -151,28 +249,51 @@ StatusOr<TupleVec> PbsmSpatialJoin(const TupleVec& left, size_t left_col,
       const Tuple& rt = right[ri.row];
       PARADISE_ASSIGN_OR_RETURN(
           bool hit,
-          SpatialIntersects(lt.at(left_col), rt.at(right_col), ctx));
-      if (hit) out.push_back(ConcatTuples(lt, rt));
+          SpatialIntersects(lt.at(left_col), rt.at(right_col), task_ctx));
+      if (hit) task.out.push_back(ConcatTuples(lt, rt));
       return Status::OK();
     };
 
     // Forward plane sweep over both sorted lists.
-    size_t i = 0, j = 0;
-    while (i < L.size() && j < R.size()) {
-      if (L[i].box.xmin <= R[j].box.xmin) {
-        for (size_t k = j; k < R.size() && R[k].box.xmin <= L[i].box.xmax;
-             ++k) {
-          PARADISE_RETURN_IF_ERROR(sweep_pair(L[i], R[k], true));
+    auto sweep = [&]() -> Status {
+      size_t i = 0, j = 0;
+      while (i < L.size() && j < R.size()) {
+        if (L[i].box.xmin <= R[j].box.xmin) {
+          for (size_t k = j; k < R.size() && R[k].box.xmin <= L[i].box.xmax;
+               ++k) {
+            PARADISE_RETURN_IF_ERROR(sweep_pair(L[i], R[k], true));
+          }
+          ++i;
+        } else {
+          for (size_t k = i; k < L.size() && L[k].box.xmin <= R[j].box.xmax;
+               ++k) {
+            PARADISE_RETURN_IF_ERROR(sweep_pair(R[j], L[k], false));
+          }
+          ++j;
         }
-        ++i;
-      } else {
-        for (size_t k = i; k < L.size() && L[k].box.xmin <= R[j].box.xmax;
-             ++k) {
-          PARADISE_RETURN_IF_ERROR(sweep_pair(R[j], L[k], false));
-        }
-        ++j;
       }
-    }
+      return Status::OK();
+    };
+    task.status = sweep();
+    task.usage = task_clock.EndPhase();
+  };
+  const bool pooled = ctx.pool != nullptr && ctx.pool->num_threads() > 1;
+  ForEachTask(ctx.pool, P, sweep_partition);
+
+  // Deterministic merge, in partition order: first failure wins, charges
+  // fold into the node clock in one fixed sequence, outputs concatenate.
+  int64_t ran = 0;
+  for (size_t p = 0; p < P; ++p) {
+    PARADISE_RETURN_IF_ERROR(std::move(tasks[p].status));
+  }
+  for (size_t p = 0; p < P; ++p) {
+    PartitionTask& task = tasks[p];
+    if (!left_parts[p].empty() && !right_parts[p].empty()) ++ran;
+    ctx.ChargeUsage(task.usage);
+    for (Tuple& t : task.out) out.push_back(std::move(t));
+  }
+  if (ctx.pbsm_stats != nullptr) {
+    ctx.pbsm_stats->parallel_tasks = pooled ? ran : 0;
   }
   return out;
 }
@@ -192,26 +313,76 @@ StatusOr<TupleVec> IndexSpatialJoin(const TupleVec& outer, size_t outer_col,
                                     const index::RStarTree& inner_index,
                                     const ExecContext& ctx) {
   TupleVec out;
+  if (outer.empty()) return out;
+
+  // Fixed chunk size: the decomposition (and with it every charge
+  // boundary) must not depend on how many threads happen to exist.
+  constexpr size_t kChunk = 256;
+  const size_t num_chunks = (outer.size() + kChunk - 1) / kChunk;
+
+  // Each chunk probes the (read-only) tree independently: probe CPU and
+  // exact-test charges land on a task-local clock, while the number of
+  // index nodes each probe visited is recorded for later. The stateful
+  // cold-page accounting (IndexProbeCharger) cannot run concurrently
+  // without making the cold/warm split schedule-dependent, so it is
+  // replayed sequentially, in chunk order, at the merge below.
+  struct ChunkTask {
+    Status status = Status::OK();
+    TupleVec out;
+    sim::ResourceUsage usage;
+    std::vector<int64_t> probe_visits;  // index nodes seen, per outer tuple
+  };
+  std::vector<ChunkTask> tasks(num_chunks);
+  auto probe_chunk = [&](size_t c) {
+    ChunkTask& task = tasks[c];
+    sim::NodeClock task_clock;
+    ExecContext task_ctx = TaskContext(ctx, &task_clock);
+    const size_t lo = c * kChunk;
+    const size_t hi = std::min(outer.size(), lo + kChunk);
+    task.probe_visits.reserve(hi - lo);
+    auto run = [&]() -> Status {
+      for (size_t i = lo; i < hi; ++i) {
+        const Tuple& o = outer[i];
+        task_ctx.ChargeCpu(sim::cpu_cost::kTupleOverhead +
+                           sim::cpu_cost::kIndexProbe);
+        Box probe = o.at(outer_col).Mbr();
+        int64_t nodes = 0;
+        std::vector<uint64_t> candidates;
+        inner_index.SearchOverlap(
+            probe,
+            [&](const Box&, uint64_t row) {
+              candidates.push_back(row);
+              return true;
+            },
+            &nodes);
+        task.probe_visits.push_back(nodes);
+        for (uint64_t row : candidates) {
+          const Tuple& it = inner[row];
+          PARADISE_ASSIGN_OR_RETURN(
+              bool hit,
+              SpatialIntersects(o.at(outer_col), it.at(inner_col), task_ctx));
+          if (hit) task.out.push_back(ConcatTuples(o, it));
+        }
+      }
+      return Status::OK();
+    };
+    task.status = run();
+    task.usage = task_clock.EndPhase();
+  };
+  ForEachTask(ctx.pool, num_chunks, probe_chunk);
+
+  // Deterministic merge in chunk order: fold task charges, replay the
+  // cold/warm index charging over the recorded visit counts (identical to
+  // the serial probe sequence), concatenate outputs.
+  for (size_t c = 0; c < num_chunks; ++c) {
+    PARADISE_RETURN_IF_ERROR(std::move(tasks[c].status));
+  }
   IndexProbeCharger charger(ctx, inner_index.num_nodes());
-  for (const Tuple& o : outer) {
-    ctx.ChargeCpu(sim::cpu_cost::kTupleOverhead + sim::cpu_cost::kIndexProbe);
-    Box probe = o.at(outer_col).Mbr();
-    int64_t nodes = 0;
-    std::vector<uint64_t> candidates;
-    inner_index.SearchOverlap(
-        probe,
-        [&](const Box&, uint64_t row) {
-          candidates.push_back(row);
-          return true;
-        },
-        &nodes);
-    charger.ChargeVisits(nodes);
-    for (uint64_t row : candidates) {
-      const Tuple& it = inner[row];
-      PARADISE_ASSIGN_OR_RETURN(
-          bool hit, SpatialIntersects(o.at(outer_col), it.at(inner_col), ctx));
-      if (hit) out.push_back(ConcatTuples(o, it));
-    }
+  for (size_t c = 0; c < num_chunks; ++c) {
+    ChunkTask& task = tasks[c];
+    ctx.ChargeUsage(task.usage);
+    for (int64_t visited : task.probe_visits) charger.ChargeVisits(visited);
+    for (Tuple& t : task.out) out.push_back(std::move(t));
   }
   return out;
 }

@@ -11,12 +11,29 @@
 namespace paradise::exec {
 
 struct PbsmOptions {
+  /// How grid cells map to join partitions.
+  enum class CellMap {
+    /// `cell % P` on the row-major cell index. Simple, but whenever P
+    /// divides the cell row width the modulus collapses to `cx % P` and
+    /// whole grid *columns* land in one partition — a clustered input
+    /// then piles into few partitions (the skew that two-layer
+    /// space-oriented partitioning warns about).
+    kModulo,
+    /// Block-interleaved: cells are tiled into small blocks, each block's
+    /// coordinates are mixed through a 64-bit finalizer, and the cells
+    /// inside a block are assigned round-robin starting at the block's
+    /// hash. Adjacent cells always hit distinct partitions and distinct
+    /// blocks are decorrelated, so hot regions spread over all P.
+    kBlockHash,
+  };
+
   /// Join partitions per node. [Pate96] uses many more partitions than
-  /// would fit-by-size to smooth skew; cells are mapped to partitions
-  /// round-robin to decorrelate hot regions.
+  /// would fit-by-size to smooth skew.
   size_t num_partitions = 32;
   /// Grid resolution; 0 = auto (~16 cells per partition).
   size_t cells_per_axis = 0;
+  /// Cell→partition map; kModulo is kept for ablation only.
+  CellMap cell_map = CellMap::kBlockHash;
 };
 
 /// Partition Based Spatial-Merge join [Pate96]: grid-partition both
@@ -24,6 +41,14 @@ struct PbsmOptions {
 /// pairs, drop duplicates by the reference-point rule, and run the exact
 /// geometry test on survivors. This is the local (single-node) algorithm
 /// used in phase two of the parallel spatial join (Section 2.7.2).
+///
+/// When `ctx.pool` has more than one thread, the per-partition sweeps run
+/// as pool tasks (partition-to-threads, the winning in-memory strategy of
+/// Tsitsigkos et al. 2019). Each task charges a task-local clock and
+/// collects its own output; tasks are merged in partition order after the
+/// barrier, so the result order and the modeled charges are bit-identical
+/// for any thread count. `ctx.pbsm_stats`, when set, receives the
+/// partition-shape counters of this join.
 StatusOr<TupleVec> PbsmSpatialJoin(const TupleVec& left, size_t left_col,
                                    const TupleVec& right, size_t right_col,
                                    const ExecContext& ctx,
@@ -49,6 +74,13 @@ class IndexProbeCharger {
 /// Index nested loops spatial join: probe an R*-tree on the inner's shape
 /// column with each outer MBR, then exact-test candidates. Used when an
 /// R-tree exists on the join attribute (Section 2.4).
+///
+/// With a multi-thread `ctx.pool` the outer is cut into fixed-size chunks
+/// probed in parallel; the chunk size never depends on the thread count,
+/// probe CPU is charged to task-local clocks, and the stateful cold-page
+/// charging (IndexProbeCharger) is replayed sequentially in chunk order at
+/// the merge — so results and modeled time stay bit-identical across
+/// thread counts.
 StatusOr<TupleVec> IndexSpatialJoin(const TupleVec& outer, size_t outer_col,
                                     const TupleVec& inner, size_t inner_col,
                                     const index::RStarTree& inner_index,

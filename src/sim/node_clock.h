@@ -47,6 +47,15 @@ class NodeClock {
     std::lock_guard<std::mutex> g(mu_);
     phase_.idle_seconds += seconds;
   }
+  /// Folds a task-local accumulator into this clock in one locked step.
+  /// Intra-node parallel operators give each task its own NodeClock and
+  /// merge the per-task usage here in task order after the barrier, so the
+  /// addition order (and thus the floating-point CPU total) is a function
+  /// of the task decomposition alone, never of the thread schedule.
+  void ChargeUsage(const ResourceUsage& usage) {
+    std::lock_guard<std::mutex> g(mu_);
+    phase_.Add(usage);
+  }
 
   /// Ends the current phase: folds phase usage into the total and returns
   /// the phase usage (the coordinator takes max-over-nodes of its seconds).

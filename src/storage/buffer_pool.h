@@ -139,6 +139,11 @@ class BufferPool {
   /// batch the misses. Guards are returned in page order.
   StatusOr<std::vector<PageGuard>> PinRange(PageId first, uint32_t count);
 
+  /// Writes every dirty frame back, grouped per volume into maximal runs
+  /// of consecutive page numbers: one WriteRun (one positioning cost plus
+  /// sequential transfers) per run instead of one random write per page.
+  /// All shards are locked for the duration so the dirty set is a single
+  /// consistent snapshot and runs may span shard boundaries.
   Status FlushAll();
   Status FlushPage(PageId id);
 
@@ -159,6 +164,8 @@ class BufferPool {
     int64_t readahead_batches = 0;   // ReadRun calls issued by Prefetch
     int64_t readahead_pages = 0;     // pages loaded by Prefetch
     int64_t promotions = 0;          // cold -> hot on re-reference
+    int64_t writeback_runs = 0;      // WriteRun calls (flush + eviction)
+    int64_t writeback_pages = 0;     // dirty pages those runs carried
 
     double hit_rate() const {
       int64_t total = hits + misses;
@@ -174,6 +181,8 @@ class BufferPool {
       readahead_batches += o.readahead_batches;
       readahead_pages += o.readahead_pages;
       promotions += o.promotions;
+      writeback_runs += o.writeback_runs;
+      writeback_pages += o.writeback_pages;
     }
   };
   /// Aggregated over all shards.
@@ -210,6 +219,13 @@ class BufferPool {
   /// Copies the volume pointer and retry policy under config_mu_. Returns
   /// null if the volume is unknown.
   DiskVolume* LookupVolume(uint32_t volume, sim::RetryPolicy* policy) const;
+
+  /// Writes the dirty frames in `frames` (all on `volume`, caller holds
+  /// their shards' mutexes) as maximal consecutive WriteRuns and clears
+  /// their dirty flags. Run stats land on the shard of each run's first
+  /// frame. Sorts `frames` by page number in place.
+  Status WriteClusteredLocked(DiskVolume* volume,
+                              std::vector<internal::Frame*>& frames);
 
   // All of the below require the shard's mutex.
   StatusOr<internal::Frame*> FindVictimLocked(Shard& s);

@@ -114,6 +114,30 @@ Status DiskVolume::WritePage(PageNo page_no, const Page& page) {
   return Status::OK();
 }
 
+Status DiskVolume::WriteRun(PageNo first, uint32_t count,
+                            const Page* const* pages) {
+  if (count == 0) return Status::OK();
+  std::lock_guard<std::mutex> g(mu_);
+  if (first + static_cast<uint64_t>(count) > pages_.size()) {
+    return Status::OutOfRange("run write past end of volume");
+  }
+  if (clock_ != nullptr) {
+    // One positioning cost for the whole run (zero when it continues the
+    // previous access), then every page is a sequential transfer.
+    bool sequential =
+        (last_accessed_ != kInvalidPageNo && first == last_accessed_ + 1);
+    clock_->ChargeDiskWrite(static_cast<int64_t>(count) *
+                                static_cast<int64_t>(kPageSize),
+                            sequential ? 0 : 1);
+    last_accessed_ = first + count - 1;
+  }
+  for (uint32_t i = 0; i < count; ++i) {
+    *pages_[first + i] = *pages[i];
+    pages_[first + i]->StampChecksum();
+  }
+  return Status::OK();
+}
+
 void DiskVolume::SetFaultInjector(sim::FaultInjector* injector,
                                   uint32_t node_id) {
   std::lock_guard<std::mutex> g(mu_);

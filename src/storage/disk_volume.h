@@ -59,6 +59,14 @@ class DiskVolume {
   /// Writes a page, stamping the durable copy's checksum.
   Status WritePage(PageNo page_no, const Page& page);
 
+  /// Batched write of `count` consecutive pages starting at `first` from
+  /// `pages[0..count)`. Mirrors ReadRun's charging: one positioning cost
+  /// (zero if the run continues the previous access) plus `count`
+  /// sequential transfers — what the writeback batcher buys over `count`
+  /// WritePage calls. Writes have no fault-injection hook, so batching
+  /// changes no fault ordinals. Returns non-OK only for a bad range.
+  Status WriteRun(PageNo first, uint32_t count, const Page* const* pages);
+
   uint32_t num_pages() const;
 
   /// Number of allocated (non-freed) pages.

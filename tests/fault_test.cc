@@ -524,7 +524,7 @@ TEST_P(FaultScheduleAcceptanceTest, DegradedNMinusOneCompletesCorrectly) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Queries, FaultScheduleAcceptanceTest,
-                         ::testing::Values(2, 5));
+                         ::testing::Values(2, 5, 11, 13));
 
 // ---------- Degraded-mode redeclustering invariants ----------
 

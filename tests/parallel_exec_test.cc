@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <limits>
@@ -102,6 +103,42 @@ TEST(ThreadPoolTest, InlineExceptionRethrownWithSingleThread) {
                std::runtime_error);
   std::vector<int> hits(4, 0);
   pool.ParallelFor(4, [&](int i) { ++hits[i]; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPoolTest, NestedParallelForCompletes) {
+  // An outer task may itself ParallelFor on the same pool (a RunPhase
+  // closure running a partition-parallel join). The caller of the inner
+  // batch drives it to completion itself, so this must not deadlock even
+  // when every worker is busy with outer tasks.
+  common::ThreadPool pool(4);
+  std::vector<std::vector<int>> hits(6, std::vector<int>(10, 0));
+  pool.ParallelFor(6, [&](int outer) {
+    pool.ParallelFor(10, [&](int inner) { ++hits[outer][inner]; });
+  });
+  for (const auto& row : hits) {
+    for (int h : row) EXPECT_EQ(h, 1);
+  }
+}
+
+TEST(ThreadPoolTest, NestedExceptionStaysInItsBatch) {
+  common::ThreadPool pool(3);
+  std::atomic<int> outer_done{0};
+  EXPECT_THROW(
+      pool.ParallelFor(4,
+                       [&](int outer) {
+                         pool.ParallelFor(4, [&](int inner) {
+                           if (outer == 2 && inner == 3) {
+                             throw std::runtime_error("inner boom");
+                           }
+                         });
+                         ++outer_done;
+                       }),
+      std::runtime_error);
+  // Only the one outer task whose inner batch threw is cut short.
+  EXPECT_EQ(outer_done.load(), 3);
+  std::vector<int> hits(5, 0);
+  pool.ParallelFor(5, [&](int i) { ++hits[i]; });
   for (int h : hits) EXPECT_EQ(h, 1);
 }
 
@@ -209,10 +246,29 @@ TEST_P(ThreadCountDeterminismTest, ModeledTimeAndRowsBitIdentical) {
   }
   // Identical tuples in identical order.
   EXPECT_EQ(RenderRows(r1->rows), RenderRows(r8->rows)) << "query " << query;
+  // Identical buffer-pool traffic per node: the thread count must not
+  // change what the query reads, prefetches, evicts, or writes back.
+  for (int n = 0; n < serial.cluster->num_nodes(); ++n) {
+    storage::BufferPool::Stats s1 = serial.cluster->node(n).pool()->stats();
+    storage::BufferPool::Stats s8 = threaded.cluster->node(n).pool()->stats();
+    EXPECT_EQ(s1.hits, s8.hits) << "query " << query << " node " << n;
+    EXPECT_EQ(s1.misses, s8.misses) << "query " << query << " node " << n;
+    EXPECT_EQ(s1.evictions, s8.evictions) << "query " << query << " node " << n;
+    EXPECT_EQ(s1.dirty_writebacks, s8.dirty_writebacks)
+        << "query " << query << " node " << n;
+    EXPECT_EQ(s1.readahead_batches, s8.readahead_batches)
+        << "query " << query << " node " << n;
+    EXPECT_EQ(s1.readahead_pages, s8.readahead_pages)
+        << "query " << query << " node " << n;
+    EXPECT_EQ(s1.writeback_runs, s8.writeback_runs)
+        << "query " << query << " node " << n;
+    EXPECT_EQ(s1.writeback_pages, s8.writeback_pages)
+        << "query " << query << " node " << n;
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Queries, ThreadCountDeterminismTest,
-                         ::testing::Values(2, 5, 11, 12));
+                         ::testing::Values(2, 5, 11, 12, 13));
 
 // ---------- StoreResult round-robin placement ----------
 

@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <utility>
+#include <vector>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "exec/spatial_join.h"
 
 namespace paradise::exec {
@@ -125,6 +128,211 @@ TEST(PbsmTest, SkewedDataStillCorrect) {
   auto nl = NestedLoopsJoin(left, right, Overlaps(Col(1), Col(3)), ctx);
   ASSERT_TRUE(nl.ok());
   EXPECT_EQ(JoinKeys(*pbsm, 0, 2), JoinKeys(*nl, 0, 2));
+}
+
+TEST(PbsmTest, DegenerateMbrsOnCellBoundariesNoDuplicates) {
+  // Left: zero-extent polylines sitting exactly on every cell boundary
+  // crossing of an 8x8 grid over [0,8]^2 (corner anchors pin the
+  // universe). Right: polygons covering exactly one cell, edges on the
+  // boundaries. A point on a shared cell edge is replicated into every
+  // adjacent partition; the reference-point rule must still report each
+  // matching pair exactly once — JoinKeys() fails on any duplicate.
+  ExecContext ctx = NullCtx();
+  TupleVec left, right;
+  int64_t id = 0;
+  for (int i = 0; i <= 8; ++i) {
+    for (int j = 0; j <= 8; ++j) {
+      double x = static_cast<double>(i), y = static_cast<double>(j);
+      left.push_back(
+          Tuple({Value(id++), Value(Polyline({{x, y}, {x, y}}))}));
+    }
+  }
+  for (int i = 0; i < 8; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      double x = static_cast<double>(i), y = static_cast<double>(j);
+      right.push_back(Tuple(
+          {Value(id++), Value(Polygon({{x, y}, {x + 1, y}, {x + 1, y + 1},
+                                       {x, y + 1}}))}));
+    }
+  }
+  PbsmOptions opts;
+  opts.num_partitions = 16;
+  opts.cells_per_axis = 8;
+  for (auto map :
+       {PbsmOptions::CellMap::kModulo, PbsmOptions::CellMap::kBlockHash}) {
+    opts.cell_map = map;
+    auto pbsm = PbsmSpatialJoin(left, 1, right, 1, ctx, opts);
+    ASSERT_TRUE(pbsm.ok());
+    auto nl = NestedLoopsJoin(left, right, Overlaps(Col(1), Col(3)), ctx);
+    ASSERT_TRUE(nl.ok());
+    EXPECT_EQ(JoinKeys(*pbsm, 0, 2), JoinKeys(*nl, 0, 2));
+  }
+}
+
+TEST(PbsmTest, ZeroWidthUniverseInflates) {
+  // Every geometry is the same single point: the universe has zero width
+  // and height, forcing the Inflate(1.0) path; the join must still find
+  // all pairs, each exactly once.
+  ExecContext ctx = NullCtx();
+  TupleVec left, right;
+  for (int i = 0; i < 6; ++i) {
+    left.push_back(
+        Tuple({Value(int64_t{i}), Value(Polyline({{3, 4}, {3, 4}}))}));
+    right.push_back(Tuple(
+        {Value(int64_t{i + 100}), Value(Polyline({{3, 4}, {3, 4}}))}));
+  }
+  PbsmOptions opts;
+  opts.num_partitions = 8;
+  auto pbsm = PbsmSpatialJoin(left, 1, right, 1, ctx, opts);
+  ASSERT_TRUE(pbsm.ok());
+  EXPECT_EQ(pbsm->size(), 36u);
+  EXPECT_EQ(JoinKeys(*pbsm, 0, 2).size(), 36u);
+
+  // One-dimensional degeneracy: all on a vertical segment (zero width,
+  // nonzero height) — the same inflation guard covers it.
+  TupleVec vleft, vright;
+  for (int i = 0; i < 4; ++i) {
+    double y = static_cast<double>(i);
+    vleft.push_back(Tuple(
+        {Value(int64_t{i}), Value(Polyline({{1, y}, {1, y + 1}}))}));
+    vright.push_back(Tuple({Value(int64_t{i + 100}),
+                            Value(Polyline({{1, y + 0.5}, {1, y + 1.5}}))}));
+  }
+  auto vres = PbsmSpatialJoin(vleft, 1, vright, 1, ctx, opts);
+  ASSERT_TRUE(vres.ok());
+  auto vnl = NestedLoopsJoin(vleft, vright, Overlaps(Col(1), Col(3)), ctx);
+  ASSERT_TRUE(vnl.ok());
+  EXPECT_EQ(JoinKeys(*vres, 0, 2), JoinKeys(*vnl, 0, 2));
+}
+
+/// Ordered (left id, right id) pairs — position-sensitive, unlike JoinKeys.
+std::vector<std::pair<int64_t, int64_t>> OrderedKeys(const TupleVec& joined,
+                                                     size_t lid, size_t rid) {
+  std::vector<std::pair<int64_t, int64_t>> keys;
+  for (const Tuple& t : joined) {
+    keys.emplace_back(t.at(lid).AsInt(), t.at(rid).AsInt());
+  }
+  return keys;
+}
+
+void ExpectUsageEq(const sim::ResourceUsage& a, const sim::ResourceUsage& b) {
+  EXPECT_EQ(a.cpu_ops, b.cpu_ops);  // bit-identical doubles, not near
+  EXPECT_EQ(a.disk_seeks, b.disk_seeks);
+  EXPECT_EQ(a.disk_bytes_read, b.disk_bytes_read);
+  EXPECT_EQ(a.disk_bytes_written, b.disk_bytes_written);
+  EXPECT_EQ(a.net_messages, b.net_messages);
+  EXPECT_EQ(a.net_bytes, b.net_bytes);
+  EXPECT_EQ(a.idle_seconds, b.idle_seconds);
+}
+
+TEST(PbsmTest, ThreadCountLeavesResultsAndChargesBitIdentical) {
+  Rng rng(31);
+  TupleVec left = PolygonTuples(&rng, 220, 50, 6);
+  TupleVec right = PolylineTuples(&rng, 260, 50);
+  PbsmOptions opts;
+  opts.num_partitions = 48;
+
+  std::vector<std::pair<int64_t, int64_t>> keys_1;
+  sim::ResourceUsage usage_1;
+  PbsmJoinStats stats_1;
+  for (int threads : {1, 8}) {
+    common::ThreadPool pool(threads);
+    sim::NodeClock clock;
+    PbsmJoinStats stats;
+    ExecContext ctx;
+    ctx.clock = &clock;
+    ctx.pool = &pool;
+    ctx.pbsm_stats = &stats;
+    auto r = PbsmSpatialJoin(left, 1, right, 1, ctx, opts);
+    ASSERT_TRUE(r.ok());
+    sim::ResourceUsage usage = clock.EndPhase();
+    if (threads == 1) {
+      keys_1 = OrderedKeys(*r, 0, 2);
+      usage_1 = usage;
+      stats_1 = stats;
+      EXPECT_EQ(stats.parallel_tasks, 0);
+    } else {
+      EXPECT_EQ(OrderedKeys(*r, 0, 2), keys_1) << "result order changed";
+      ExpectUsageEq(usage, usage_1);
+      EXPECT_EQ(stats.partitions, stats_1.partitions);
+      EXPECT_EQ(stats.left_items, stats_1.left_items);
+      EXPECT_EQ(stats.right_items, stats_1.right_items);
+      EXPECT_EQ(stats.max_partition_items, stats_1.max_partition_items);
+      EXPECT_EQ(stats.mean_partition_items, stats_1.mean_partition_items);
+      EXPECT_GT(stats.parallel_tasks, 0);
+    }
+  }
+}
+
+TEST(IndexSpatialJoinTest, ThreadCountLeavesResultsAndChargesBitIdentical) {
+  Rng rng(33);
+  ExecContext build_ctx = NullCtx();
+  // > 2 chunks of 256 so the parallel path genuinely splits the outer.
+  TupleVec outer = PolygonTuples(&rng, 700, 60, 4);
+  TupleVec inner = PolylineTuples(&rng, 400, 60);
+  auto tree = BuildRTreeOnColumn(inner, 1, build_ctx);
+
+  std::vector<std::pair<int64_t, int64_t>> keys_1;
+  sim::ResourceUsage usage_1;
+  for (int threads : {1, 8}) {
+    common::ThreadPool pool(threads);
+    sim::NodeClock clock;
+    ExecContext ctx;
+    ctx.clock = &clock;
+    ctx.pool = &pool;
+    auto r = IndexSpatialJoin(outer, 1, inner, 1, *tree, ctx);
+    ASSERT_TRUE(r.ok());
+    sim::ResourceUsage usage = clock.EndPhase();
+    if (threads == 1) {
+      keys_1 = OrderedKeys(*r, 0, 2);
+      usage_1 = usage;
+      EXPECT_GT(usage.disk_seeks, 0) << "cold index visits must charge I/O";
+    } else {
+      EXPECT_EQ(OrderedKeys(*r, 0, 2), keys_1) << "result order changed";
+      ExpectUsageEq(usage, usage_1);
+    }
+  }
+}
+
+TEST(PbsmTest, BlockHashMapBalancesClusteredDataBetterThanModulo) {
+  // Clustered inputs on modulo's degenerate grid (P divides the cell row
+  // width, so `cell % P` collapses to `cx % P`): the block-hash map must
+  // cut the largest partition.
+  Rng rng(37);
+  TupleVec left, right;
+  for (int i = 0; i < 600; ++i) {
+    // Three tight hotspots along x = 10, 11, 12 — a few grid columns.
+    double cx = 10.0 + (i % 3);
+    double x = cx + rng.NextDouble(-0.4, 0.4);
+    double y = rng.NextDouble(-40, 40);
+    left.push_back(Tuple({Value(int64_t{i}),
+                          Value(Polyline({{x, y}, {x + 0.2, y + 0.2}}))}));
+    right.push_back(Tuple({Value(int64_t{i + 100000}),
+                           Value(Polyline({{x, y}, {x + 0.2, y + 0.2}}))}));
+  }
+  // Corner anchors pin the universe to [-50,50]^2 so columns are stable.
+  left.push_back(
+      Tuple({Value(int64_t{9000}), Value(Polyline({{-50, -50}, {-50, -50}}))}));
+  left.push_back(
+      Tuple({Value(int64_t{9001}), Value(Polyline({{50, 50}, {50, 50}}))}));
+
+  PbsmOptions opts;
+  opts.num_partitions = 32;
+  opts.cells_per_axis = 32;
+  ExecContext ctx;
+  PbsmJoinStats modulo_stats, hash_stats;
+
+  opts.cell_map = PbsmOptions::CellMap::kModulo;
+  ctx.pbsm_stats = &modulo_stats;
+  ASSERT_TRUE(PbsmSpatialJoin(left, 1, right, 1, ctx, opts).ok());
+
+  opts.cell_map = PbsmOptions::CellMap::kBlockHash;
+  ctx.pbsm_stats = &hash_stats;
+  ASSERT_TRUE(PbsmSpatialJoin(left, 1, right, 1, ctx, opts).ok());
+
+  EXPECT_LT(hash_stats.max_partition_items, modulo_stats.max_partition_items);
+  EXPECT_EQ(hash_stats.left_tuples, modulo_stats.left_tuples);
+  EXPECT_GT(modulo_stats.replication(), 0.99);
 }
 
 TEST(IndexSpatialJoinTest, MatchesNestedLoops) {
