@@ -30,11 +30,16 @@ namespace col = datagen::col;
 
 namespace {
 
-QueryResult Finish(const QueryCoordinator& coord, TupleVec rows) {
+QueryResult Finish(QueryCoordinator& coord, TupleVec rows) {
   QueryResult r;
   r.rows = std::move(rows);
   r.seconds = coord.query_seconds();
   r.phases = coord.phases();
+  r.pbsm = coord.pbsm_stats();
+  // Close the query's accounting now, not at destructor time: any open
+  // phase a failed sub-plan left behind is discarded here, before the
+  // next query can charge these clocks.
+  coord.EndQuery();
   return r;
 }
 

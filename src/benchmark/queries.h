@@ -15,6 +15,9 @@ struct QueryResult {
   double seconds = 0.0;
   /// Per-phase breakdown (for diagnosis and the experiment write-up).
   std::vector<core::QueryCoordinator::PhaseReport> phases;
+  /// Aggregated PBSM join shape for this query (zero for join-free
+  /// queries) — per-query state, reset by every BeginQuery.
+  exec::PbsmJoinStats pbsm;
 };
 
 /// Queries 2-14 of Section 3.1.2. Each starts with the cold-buffer-pool

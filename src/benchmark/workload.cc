@@ -1,0 +1,215 @@
+#include "benchmark/workload.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <thread>
+
+#include "common/rng.h"
+
+namespace paradise::benchmark {
+
+namespace {
+
+/// Cache key for queries whose result is a pure function of the database
+/// state (point/region selections); "" = not cacheable (scans whose cost
+/// is the point, and queries that mutate tables).
+std::string CacheKeyForQuery(int query) {
+  switch (query) {
+    case 5:
+      return "q5:phoenix";
+    case 7:
+      return "q7:circle-area";
+    default:
+      return "";
+  }
+}
+
+/// Base tables the cacheable queries read — mutating any of them must
+/// invalidate the cached entry.
+std::vector<std::string> DepTablesForQuery(int query) {
+  switch (query) {
+    case 5:
+      return {"populatedPlaces"};
+    case 7:
+      return {"landCover"};
+    default:
+      return {};
+  }
+}
+
+void HashMix(uint64_t* h, uint64_t v) {
+  // FNV-1a over the 8 bytes of v.
+  for (int i = 0; i < 8; ++i) {
+    *h ^= (v >> (8 * i)) & 0xff;
+    *h *= 0x100000001b3ULL;
+  }
+}
+
+}  // namespace
+
+double WorkloadReport::LatencyPercentile(double p) const {
+  if (samples.empty()) return 0.0;
+  std::vector<double> lat;
+  lat.reserve(samples.size());
+  for (const Sample& s : samples) lat.push_back(s.latency_seconds());
+  std::sort(lat.begin(), lat.end());
+  double rank = p * static_cast<double>(lat.size());
+  size_t idx = rank <= 1.0 ? 0 : static_cast<size_t>(std::ceil(rank)) - 1;
+  idx = std::min(idx, lat.size() - 1);
+  return lat[idx];
+}
+
+uint64_t WorkloadReport::Digest() const {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (const Sample& s : samples) {
+    HashMix(&h, static_cast<uint64_t>(s.stream));
+    HashMix(&h, static_cast<uint64_t>(s.index));
+    HashMix(&h, static_cast<uint64_t>(s.query));
+    HashMix(&h, std::bit_cast<uint64_t>(s.submit_seconds));
+    HashMix(&h, std::bit_cast<uint64_t>(s.admit_seconds));
+    HashMix(&h, std::bit_cast<uint64_t>(s.end_seconds));
+    HashMix(&h, s.cache_hit ? 1u : 0u);
+    HashMix(&h, static_cast<uint64_t>(s.rows));
+  }
+  HashMix(&h, static_cast<uint64_t>(cache_hits));
+  HashMix(&h, static_cast<uint64_t>(cache_misses));
+  HashMix(&h, static_cast<uint64_t>(cache_invalidations));
+  HashMix(&h, static_cast<uint64_t>(scan_attaches));
+  HashMix(&h, static_cast<uint64_t>(readahead_batches));
+  HashMix(&h, static_cast<uint64_t>(readahead_pages));
+  HashMix(&h, static_cast<uint64_t>(scan_shared_windows));
+  HashMix(&h, static_cast<uint64_t>(scan_shared_pages));
+  HashMix(&h, static_cast<uint64_t>(pool_hits));
+  HashMix(&h, static_cast<uint64_t>(pool_misses));
+  return h;
+}
+
+StatusOr<WorkloadReport> RunWorkload(BenchmarkDatabase* db,
+                                     const WorkloadOptions& options) {
+  if (options.num_streams <= 0 || options.mix.empty()) {
+    return Status::InvalidArgument("workload needs streams and a query mix");
+  }
+  core::Cluster* cluster = db->cluster();
+  // Cold start once for the whole workload; after this, pools stay warm
+  // across queries (the multi-tenant difference from single-query mode).
+  cluster->ResetForQuery();
+  storage::BufferPool::Stats baseline;
+  for (int n = 0; n < cluster->num_nodes(); ++n) {
+    baseline.Add(cluster->node(n).pool()->stats());
+  }
+
+  core::WorkloadSession::Options sopts = options.session;
+  sopts.num_streams = options.num_streams;
+  core::WorkloadSession session(cluster, sopts);
+  cluster->set_workload_session(&session);
+
+  std::vector<std::vector<WorkloadReport::Sample>> samples(
+      static_cast<size_t>(options.num_streams));
+  std::vector<Status> errors(static_cast<size_t>(options.num_streams),
+                             Status::OK());
+
+  auto stream_main = [&](int s) {
+    session.BindStream(s);
+    Rng rng(options.seed ^
+            (0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(s + 1)));
+    auto think = [&] {
+      return options.mean_think_seconds * rng.NextDouble(0.5, 1.5);
+    };
+    double now = think();
+    for (int i = 0; i < options.queries_per_stream; ++i) {
+      const int q = options.mix[rng.NextUint(options.mix.size())];
+      const std::string key = CacheKeyForQuery(q);
+      core::WorkloadSession::Ticket* ticket = session.AwaitAdmission(now);
+      double latency = 0.0;
+      bool hit = false;
+      int64_t rows = 0;
+      if (!key.empty()) {
+        exec::TupleVec cached;
+        double serve = 0.0;
+        if (session.LookupCachedResult(key, &cached, &serve)) {
+          hit = true;
+          latency = serve;
+          rows = static_cast<int64_t>(cached.size());
+        }
+      }
+      if (!hit) {
+        Status failed = Status::OK();
+        try {
+          StatusOr<QueryResult> r = RunQueryByNumber(db, q);
+          if (r.ok()) {
+            latency = r->seconds;
+            rows = static_cast<int64_t>(r->rows.size());
+            if (!key.empty()) {
+              session.PublishResult(key, DepTablesForQuery(q),
+                                    std::move(r->rows),
+                                    ticket->admit_seconds + latency);
+            }
+          } else {
+            failed = r.status();
+          }
+        } catch (const std::exception& e) {
+          failed = Status::Internal(std::string("query threw: ") + e.what());
+        }
+        if (!failed.ok()) {
+          errors[static_cast<size_t>(s)] = failed;
+          session.FinishQuery(0.0);
+          break;
+        }
+      }
+      session.FinishQuery(latency);
+      WorkloadReport::Sample sample;
+      sample.stream = s;
+      sample.index = i;
+      sample.query = q;
+      sample.submit_seconds = now;
+      sample.admit_seconds = ticket->admit_seconds;
+      sample.end_seconds = ticket->admit_seconds + latency;
+      sample.cache_hit = hit;
+      sample.rows = rows;
+      samples[static_cast<size_t>(s)].push_back(sample);
+      now = sample.end_seconds + think();
+    }
+    session.EndStream();
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(options.num_streams));
+  for (int s = 0; s < options.num_streams; ++s) {
+    threads.emplace_back(stream_main, s);
+  }
+  for (std::thread& t : threads) t.join();
+  cluster->set_workload_session(nullptr);
+
+  for (const Status& st : errors) {
+    PARADISE_RETURN_IF_ERROR(Status(st));
+  }
+
+  WorkloadReport report;
+  for (const auto& per_stream : samples) {
+    for (const WorkloadReport::Sample& s : per_stream) {
+      report.samples.push_back(s);
+      report.makespan_seconds = std::max(report.makespan_seconds,
+                                         s.end_seconds);
+    }
+  }
+  report.cache_hits = session.cache_hits();
+  report.cache_misses = session.cache_misses();
+  report.cache_invalidations = session.cache_invalidations();
+  report.scan_attaches = session.scan_attaches();
+  storage::BufferPool::Stats total;
+  for (int n = 0; n < cluster->num_nodes(); ++n) {
+    total.Add(cluster->node(n).pool()->stats());
+  }
+  report.readahead_batches = total.readahead_batches - baseline.readahead_batches;
+  report.readahead_pages = total.readahead_pages - baseline.readahead_pages;
+  report.scan_shared_windows =
+      total.scan_shared_windows - baseline.scan_shared_windows;
+  report.scan_shared_pages =
+      total.scan_shared_pages - baseline.scan_shared_pages;
+  report.pool_hits = total.hits - baseline.hits;
+  report.pool_misses = total.misses - baseline.misses;
+  return report;
+}
+
+}  // namespace paradise::benchmark

@@ -1,0 +1,89 @@
+#ifndef PARADISE_BENCHMARK_WORKLOAD_H_
+#define PARADISE_BENCHMARK_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "benchmark/database.h"
+#include "benchmark/queries.h"
+#include "core/coordinator.h"
+
+namespace paradise::benchmark {
+
+/// A multi-client workload: `num_streams` clients submit queries drawn
+/// from `mix` with seeded think times between them, through the admission
+/// controller and deterministic scheduler of core::WorkloadSession.
+struct WorkloadOptions {
+  int num_streams = 4;
+  int queries_per_stream = 6;
+  /// Query numbers each stream draws from (uniformly, per-stream seeded).
+  std::vector<int> mix = {2, 5, 7};
+  uint64_t seed = 42;
+  /// Mean client think time between a query's completion and the next
+  /// submission (uniform in [0.5, 1.5) x mean — modeled seconds).
+  double mean_think_seconds = 2.0;
+  /// Admission window, scan sharing, result cache, contention charging.
+  /// `session.num_streams` is overwritten with `num_streams`.
+  core::WorkloadSession::Options session;
+};
+
+struct WorkloadReport {
+  struct Sample {
+    int stream = 0;
+    int index = 0;  // position within the stream
+    int query = 0;  // query number run
+    double submit_seconds = 0.0;
+    double admit_seconds = 0.0;
+    double end_seconds = 0.0;
+    bool cache_hit = false;
+    int64_t rows = 0;
+
+    /// Client-observed latency: admission queueing plus execution.
+    double latency_seconds() const { return end_seconds - submit_seconds; }
+
+    friend bool operator==(const Sample&, const Sample&) = default;
+  };
+
+  std::vector<Sample> samples;  // ordered by (stream, index)
+  double makespan_seconds = 0.0;  // latest completion, modeled
+
+  // Session counters.
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  int64_t cache_invalidations = 0;
+  int64_t scan_attaches = 0;  // scan phases that attached to another scan
+
+  // Buffer-pool deltas summed over nodes for this workload run.
+  int64_t readahead_batches = 0;   // charged readahead windows issued
+  int64_t readahead_pages = 0;
+  int64_t scan_shared_windows = 0;  // windows that rode a concurrent scan
+  int64_t scan_shared_pages = 0;
+  int64_t pool_hits = 0;
+  int64_t pool_misses = 0;
+
+  double qps() const {
+    return makespan_seconds > 0.0
+               ? static_cast<double>(samples.size()) / makespan_seconds
+               : 0.0;
+  }
+
+  /// Latency percentile over all samples (p in [0, 1], nearest-rank).
+  double LatencyPercentile(double p) const;
+
+  /// Order-independent fingerprint of everything modeled: sample times,
+  /// row counts, pool and session counters. Two runs are "bit-identical"
+  /// iff their digests match.
+  uint64_t Digest() const;
+};
+
+/// Runs the workload to completion and reports per-query samples plus
+/// aggregate counters. Starts from the cold-pool protocol (one global
+/// reset), then keeps pools warm across queries — the multi-tenant mode.
+/// Returns the first stream error, if any.
+StatusOr<WorkloadReport> RunWorkload(BenchmarkDatabase* db,
+                                     const WorkloadOptions& options);
+
+}  // namespace paradise::benchmark
+
+#endif  // PARADISE_BENCHMARK_WORKLOAD_H_

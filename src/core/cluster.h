@@ -23,6 +23,8 @@
 
 namespace paradise::core {
 
+class WorkloadSession;
+
 /// One data server (Section 2.2): its own disks, buffer pool, large-object
 /// stores, and virtual clock. Table fragments and raster tiles live here;
 /// operators run "on" a node by charging its clock.
@@ -163,6 +165,15 @@ class Cluster {
   /// debug, then N to check the executor is deterministic).
   void SetNumThreads(int n);
 
+  /// Attaches (or, with nullptr, detaches) the admission/scheduling
+  /// session for a concurrent workload. While attached, QueryCoordinators
+  /// constructed on bound stream threads run in workload mode. Ownership
+  /// stays with the caller (the workload driver).
+  void set_workload_session(WorkloadSession* session) {
+    workload_session_ = session;
+  }
+  WorkloadSession* workload_session() const { return workload_session_; }
+
  private:
   sim::CostModel cost_model_;
   std::vector<std::unique_ptr<Node>> nodes_;
@@ -173,6 +184,7 @@ class Cluster {
   sim::FaultInjector* fault_injector_ = nullptr;
   sim::RetryPolicy retry_policy_;
   NodeLossHandler node_loss_handler_;
+  WorkloadSession* workload_session_ = nullptr;
   // Per-(from, to) link batch ordinals keying transfer fault decisions.
   std::mutex transfer_mu_;
   std::unordered_map<uint64_t, int64_t> transfer_ordinals_;

@@ -56,7 +56,12 @@ StatusOr<PerNode> ParallelScan(QueryCoordinator* coord,
                                const std::vector<ExprPtr>& projection) {
   Cluster* cluster = coord->cluster();
   PerNode out(cluster->num_nodes());
-  PARADISE_RETURN_IF_ERROR(coord->RunPhase("scan", [&](int n) -> Status {
+  // The phase streams the table's fragment pages (and, for raster
+  // projections, their tiles) via each node's own closure, so it is safe
+  // to share its readahead with a concurrent scan of the same table.
+  QueryCoordinator::PhaseOptions popts;
+  popts.scan_share_key = "scan:" + table.def().name;
+  PARADISE_RETURN_IF_ERROR(coord->RunPhase("scan", popts, [&](int n) -> Status {
     NodeExecContext nc = MakeNodeContext(cluster, n);
     PARADISE_ASSIGN_OR_RETURN(TupleVec rows,
                               table.ScanFragment(cluster, n, true));
@@ -77,7 +82,10 @@ StatusOr<PerNode> ParallelScanAll(QueryCoordinator* coord,
                                   const ExprPtr& predicate) {
   Cluster* cluster = coord->cluster();
   PerNode out(cluster->num_nodes());
-  PARADISE_RETURN_IF_ERROR(coord->RunPhase("scan all", [&](int n) -> Status {
+  QueryCoordinator::PhaseOptions popts;
+  popts.scan_share_key = "scan:" + table.def().name;
+  PARADISE_RETURN_IF_ERROR(coord->RunPhase(
+      "scan all", popts, [&](int n) -> Status {
     NodeExecContext nc = MakeNodeContext(cluster, n);
     PARADISE_ASSIGN_OR_RETURN(TupleVec rows,
                               table.ScanFragment(cluster, n, false));
@@ -363,6 +371,9 @@ StatusOr<PerNode> ParallelSpatialJoin(QueryCoordinator* coord,
   }
   PARADISE_RETURN_IF_ERROR(coord->RunPhase("pbsm join", [&](int n) -> Status {
     NodeExecContext nc = MakeNodeContext(cluster, n);
+    // Each node fills only its own per-query sink (the RunPhase contract);
+    // the coordinator aggregates them for the query report.
+    nc.ctx.pbsm_stats = coord->node_pbsm_stats(n);
     PARADISE_ASSIGN_OR_RETURN(
         TupleVec joined,
         exec::PbsmSpatialJoin(left_placed[n], left_col, right_placed[n],
@@ -669,6 +680,9 @@ StatusOr<std::unique_ptr<ParallelTable>> StoreResult(QueryCoordinator* coord,
     }
   }
   def.partitioning = catalog::PartitioningKind::kRoundRobin;
+  // Storing into the table mutates it: any cached query result computed
+  // from it is now stale.
+  coord->NoteTableMutation(def.name);
   return ParallelTable::Load(cluster, std::move(def), all,
                              SpatialGrid::kDefaultTilesPerAxis, &owners);
 }

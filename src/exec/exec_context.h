@@ -38,6 +38,10 @@ struct PbsmJoinStats {
                        : static_cast<double>(left_items + right_items) /
                              static_cast<double>(tuples);
   }
+
+  void Clear() { *this = PbsmJoinStats(); }
+
+  friend bool operator==(const PbsmJoinStats&, const PbsmJoinStats&) = default;
 };
 
 /// Everything an operator needs from the node it runs on: the node's

@@ -126,6 +126,12 @@ StatusOr<TupleVec> PbsmSpatialJoin(const TupleVec& left, size_t left_col,
                                    const TupleVec& right, size_t right_col,
                                    const ExecContext& ctx,
                                    const PbsmOptions& options) {
+  // Reset the stats sink up front: a sink reused across queries must
+  // describe *this* join, even when an empty input short-circuits below —
+  // otherwise the previous query's partition/replication stats leak into
+  // this one's report.
+  if (ctx.pbsm_stats != nullptr) ctx.pbsm_stats->Clear();
+
   TupleVec out;
   if (left.empty() || right.empty()) return out;
 

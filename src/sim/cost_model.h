@@ -61,16 +61,24 @@ struct CostModel {
            static_cast<double>(pages * page_bytes) / disk_bytes_per_second;
   }
 
+  /// Component costs, exposed separately so a contention model can scale
+  /// the shared resources (disk arms, the node's link) without touching
+  /// CPU or modeled idle time. Seconds() is exactly their sum.
+  double DiskSeconds(const ResourceUsage& u) const {
+    return static_cast<double>(u.disk_seeks) * disk_seek_seconds +
+           static_cast<double>(u.disk_bytes_read + u.disk_bytes_written) /
+               disk_bytes_per_second;
+  }
+  double NetSeconds(const ResourceUsage& u) const {
+    return static_cast<double>(u.net_messages) * net_message_latency_seconds +
+           static_cast<double>(u.net_bytes) / net_bytes_per_second;
+  }
+  double CpuSeconds(const ResourceUsage& u) const {
+    return u.cpu_ops / cpu_ops_per_second;
+  }
+
   double Seconds(const ResourceUsage& u) const {
-    double disk = static_cast<double>(u.disk_seeks) * disk_seek_seconds +
-                  static_cast<double>(u.disk_bytes_read +
-                                      u.disk_bytes_written) /
-                      disk_bytes_per_second;
-    double net =
-        static_cast<double>(u.net_messages) * net_message_latency_seconds +
-        static_cast<double>(u.net_bytes) / net_bytes_per_second;
-    double cpu = u.cpu_ops / cpu_ops_per_second;
-    return disk + net + cpu + u.idle_seconds;
+    return DiskSeconds(u) + NetSeconds(u) + CpuSeconds(u) + u.idle_seconds;
   }
 };
 

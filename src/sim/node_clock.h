@@ -67,6 +67,15 @@ class NodeClock {
     return phase;
   }
 
+  /// Drops whatever sits in the open phase *without* folding it into the
+  /// total. This is the end-of-query unwind for a query abandoned
+  /// mid-phase: its half-accumulated charges must not be attributed to the
+  /// next query sharing this clock.
+  void DiscardPhase() {
+    std::lock_guard<std::mutex> g(mu_);
+    phase_.Clear();
+  }
+
   ResourceUsage phase_usage() const {
     std::lock_guard<std::mutex> g(mu_);
     return phase_;

@@ -362,13 +362,27 @@ void BufferPool::PrefetchWindow(Shard& s, DiskVolume* volume,
     std::vector<Page*> pages(run_len);
     for (uint32_t k = 0; k < run_len; ++k) pages[k] = &frames[k]->page;
     std::vector<Status> statuses(run_len, Status::OK());
-    Status run_st =
-        volume->ReadRun(run_first, run_len, pages.data(), statuses.data());
+    // Scan sharing: while a gate is armed, every free_eighths-th-of-8
+    // window (by issue ordinal — a pure function of the access sequence,
+    // never of the thread schedule) attaches to the concurrent scan that
+    // is already streaming these pages and rides its transfer uncharged.
+    bool attached = false;
+    if (scan_gate_ != nullptr && scan_gate_->free_eighths > 0) {
+      attached = (scan_gate_->ordinal++ & 7) <
+                 static_cast<int64_t>(scan_gate_->free_eighths);
+    }
+    Status run_st = volume->ReadRun(run_first, run_len, pages.data(),
+                                    statuses.data(), /*charge=*/!attached);
     if (!run_st.ok()) {
       for (internal::Frame* f : frames) s.free_frames.push_back(f);
       return;
     }
-    ++s.stats.readahead_batches;
+    if (attached) {
+      ++s.stats.scan_shared_windows;
+      ++scan_gate_->attached_windows;
+    } else {
+      ++s.stats.readahead_batches;
+    }
     for (uint32_t k = 0; k < run_len; ++k) {
       internal::Frame* f = frames[k];
       PageNo page_no = run_first + k;
@@ -400,7 +414,12 @@ void BufferPool::PrefetchWindow(Shard& s, DiskVolume* volume,
       s.cold.push_back(f);
       f->lru_it = std::prev(s.cold.end());
       f->in_lru = true;
-      ++s.stats.readahead_pages;
+      if (attached) {
+        ++s.stats.scan_shared_pages;
+        ++scan_gate_->attached_pages;
+      } else {
+        ++s.stats.readahead_pages;
+      }
     }
     i = j;
   }
@@ -519,9 +538,19 @@ void BufferPool::Invalidate(PageId id) {
 }
 
 BufferPool::Stats BufferPool::stats() const {
+  // Lock every shard (index order, matching FlushAll's multi-shard
+  // acquisition) before reading any counter, so the aggregate is one
+  // consistent cross-shard snapshot. Locking shards one at a time would
+  // let a concurrent writeback or scan land half in the sum and half out
+  // of it — e.g. a cross-shard WriteRun's run counted on the first
+  // frame's shard while the pages it carried on a later shard are missed.
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    locks.emplace_back(shard->mu);
+  }
   Stats total;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> g(shard->mu);
     total.Add(shard->stats);
   }
   return total;

@@ -66,6 +66,26 @@ class PageGuard {
   PageId id_;
 };
 
+/// Scan-sharing gate, armed on a node's pool for the duration of one scan
+/// phase. While armed, a deterministic fraction (`free_eighths`/8) of the
+/// readahead windows Prefetch issues are *attached* to another query's
+/// in-flight scan of the same pages: the pages are still read from the
+/// volume (faults fire, bytes land), but the disk transfer is not charged
+/// — that query already paid for it. Selection is by window ordinal, not
+/// by thread schedule, so which windows ride free is bit-identical at any
+/// thread count.
+///
+/// Single-writer contract: arm a gate only for phases whose readahead on
+/// this pool is issued by one thread (a node's own scan closure). The
+/// counters are unsynchronized by design — that is what keeps the ordinal
+/// sequence deterministic.
+struct ScanShareGate {
+  int free_eighths = 0;          // windows riding free, in eighths
+  int64_t ordinal = 0;           // windows issued while armed
+  int64_t attached_windows = 0;  // windows that rode free
+  int64_t attached_pages = 0;    // pages those windows carried
+};
+
 /// Buffer pool over a set of volumes, one per node (Paradise used a 32 MB
 /// pool per node; the pool size here is in frames). The pool is the
 /// volatile layer: a simulated crash is DiscardAll() without FlushAll().
@@ -139,6 +159,12 @@ class BufferPool {
   /// batch the misses. Guards are returned in page order.
   StatusOr<std::vector<PageGuard>> PinRange(PageId first, uint32_t count);
 
+  /// Arms (or, with nullptr, disarms) a scan-sharing gate consulted by
+  /// Prefetch. See ScanShareGate for the protocol and the single-writer
+  /// contract. The caller keeps ownership and must disarm before the gate
+  /// goes out of scope.
+  void ArmScanShareGate(ScanShareGate* gate) { scan_gate_ = gate; }
+
   /// Writes every dirty frame back, grouped per volume into maximal runs
   /// of consecutive page numbers: one WriteRun (one positioning cost plus
   /// sequential transfers) per run instead of one random write per page.
@@ -161,8 +187,11 @@ class BufferPool {
     int64_t dirty_writebacks = 0;
     int64_t read_retries = 0;        // re-reads after a transient error
     int64_t checksum_failures = 0;   // fetches that failed verification
-    int64_t readahead_batches = 0;   // ReadRun calls issued by Prefetch
-    int64_t readahead_pages = 0;     // pages loaded by Prefetch
+    int64_t readahead_batches = 0;   // charged ReadRun calls by Prefetch
+    int64_t readahead_pages = 0;     // pages those charged runs loaded
+    int64_t scan_shared_windows = 0; // readahead runs attached to another
+                                     // query's in-flight scan (uncharged)
+    int64_t scan_shared_pages = 0;   // pages those attached runs carried
     int64_t promotions = 0;          // cold -> hot on re-reference
     int64_t writeback_runs = 0;      // WriteRun calls (flush + eviction)
     int64_t writeback_pages = 0;     // dirty pages those runs carried
@@ -180,12 +209,18 @@ class BufferPool {
       checksum_failures += o.checksum_failures;
       readahead_batches += o.readahead_batches;
       readahead_pages += o.readahead_pages;
+      scan_shared_windows += o.scan_shared_windows;
+      scan_shared_pages += o.scan_shared_pages;
       promotions += o.promotions;
       writeback_runs += o.writeback_runs;
       writeback_pages += o.writeback_pages;
     }
   };
-  /// Aggregated over all shards.
+  /// Aggregated over all shards, as one consistent snapshot: every shard
+  /// mutex is held simultaneously (index order, as in FlushAll) while the
+  /// counters are summed, so a snapshot taken while another query runs
+  /// can never tear across shards — e.g. observe a writeback run on one
+  /// shard but not the pages it carried on another.
   Stats stats() const;
 
   size_t capacity() const { return capacity_; }
@@ -250,6 +285,11 @@ class BufferPool {
   const size_t capacity_;
   size_t shard_mask_ = 0;
   std::vector<std::unique_ptr<Shard>> shards_;
+
+  // Scan-sharing gate, or null when disarmed. Written only between phase
+  // barriers (no Prefetch in flight); readers are the phase's own scan
+  // thread, ordered by the thread pool's batch handoff.
+  ScanShareGate* scan_gate_ = nullptr;
 
   // Guards volume registration and the retry policy; always taken either
   // standalone or nested inside a shard mutex, never the other way.

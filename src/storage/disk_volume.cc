@@ -81,13 +81,13 @@ Status DiskVolume::ReadPage(PageNo page_no, Page* out) {
 }
 
 Status DiskVolume::ReadRun(PageNo first, uint32_t count, Page* const* outs,
-                           Status* statuses) {
+                           Status* statuses, bool charge) {
   if (count == 0) return Status::OK();
   std::lock_guard<std::mutex> g(mu_);
   if (first + static_cast<uint64_t>(count) > pages_.size()) {
     return Status::OutOfRange("run read past end of volume");
   }
-  if (clock_ != nullptr) {
+  if (clock_ != nullptr && charge) {
     // One positioning cost for the whole run (zero when it continues the
     // previous access), then every page is a sequential transfer.
     bool sequential =
@@ -95,8 +95,11 @@ Status DiskVolume::ReadRun(PageNo first, uint32_t count, Page* const* outs,
     clock_->ChargeDiskRead(static_cast<int64_t>(count) *
                                static_cast<int64_t>(kPageSize),
                            sequential ? 0 : 1);
-    last_accessed_ = first + count - 1;
   }
+  // Head position advances whether or not the transfer was charged, so a
+  // shared (uncharged) window leaves the arm exactly where a paid one
+  // would.
+  last_accessed_ = first + count - 1;
   for (uint32_t i = 0; i < count; ++i) {
     statuses[i] = ReadPageLocked(first + i, outs[i]);
   }

@@ -53,8 +53,14 @@ class DiskVolume {
   /// ordinal, so a batch fetch makes exactly the fault decisions the same
   /// pages would see read one at a time; per-page outcomes land in
   /// `statuses[0..count)`. Returns non-OK only for a bad range.
+  ///
+  /// `charge == false` suppresses the clock charges only — the run rides a
+  /// transfer another query already paid for (scan sharing). Fault
+  /// ordinals and the head-position continuity (`last_accessed_`) advance
+  /// exactly as for a charged read, so sharing never changes which faults
+  /// fire or how the next access is charged.
   Status ReadRun(PageNo first, uint32_t count, Page* const* outs,
-                 Status* statuses);
+                 Status* statuses, bool charge = true);
 
   /// Writes a page, stamping the durable copy's checksum.
   Status WritePage(PageNo page_no, const Page& page);

@@ -383,6 +383,7 @@ TEST(BufferPoolConcurrencyTest, ParallelPinsAndPrefetchesAreRaceFree) {
 
   constexpr int kThreads = 8;
   constexpr int kIters = 300;
+  std::atomic<bool> done{false};
   std::vector<std::thread> threads;
   for (int t = 0; t < kThreads; ++t) {
     threads.emplace_back([&, t] {
@@ -397,7 +398,24 @@ TEST(BufferPoolConcurrencyTest, ParallelPinsAndPrefetchesAreRaceFree) {
       }
     });
   }
+  // Snapshot stats concurrently with the pin/prefetch storm: stats() holds
+  // every shard mutex at once, so each snapshot is a coherent cut — pages
+  // counted as readahead must already be countable as residents, and
+  // hits + misses never exceeds the pins issued so far.
+  std::thread snapshotter([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      auto snap = pool.stats();
+      ASSERT_GE(snap.hits + snap.misses, 0);
+      ASSERT_LE(snap.hits + snap.misses,
+                static_cast<int64_t>(kThreads) * kIters);
+      ASSERT_LE(snap.readahead_pages + snap.scan_shared_pages,
+                snap.misses + snap.evictions + 128);
+      std::this_thread::yield();
+    }
+  });
   for (auto& th : threads) th.join();
+  done.store(true, std::memory_order_relaxed);
+  snapshotter.join();
 
   auto s = pool.stats();
   EXPECT_EQ(s.hits + s.misses, kThreads * kIters)
