@@ -9,10 +9,12 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cstring>
 
 #include "bench/bench_util.h"
 #include "codec/lzw.h"
 #include "common/rng.h"
+#include "core/coordinator.h"
 #include "common/thread_pool.h"
 #include "exec/spatial_join.h"
 #include "index/b_plus_tree.h"
@@ -308,10 +310,119 @@ std::vector<paradise::bench::QueryPerfSample> RunSpatialJoinSection() {
   return samples;
 }
 
+// ---------- Buffer-pool sizing sweep (--pool-mb) ----------
+
+/// Re-runs the query section's workload at several per-node pool sizes,
+/// reporting the per-query hit rate and modeled seconds at each point —
+/// the classic memory/latency trade-off curve. Only runs (and only adds
+/// JSON rows) when --pool-mb is given, so the default perf-gate report is
+/// unchanged.
+std::vector<paradise::bench::QueryPerfSample> RunPoolSweep(
+    const std::vector<int>& pool_mbs) {
+  using Clock = std::chrono::steady_clock;
+  using paradise::storage::BufferPool;
+
+  paradise::bench::BenchConfig cfg;
+  cfg.fraction = 1.0 / 64;
+  cfg.dates = 24;
+  cfg.raster_size = 256;
+
+  std::printf("\npool-size sweep: 4 nodes, queries {2, 12, 13}\n");
+  std::printf("%-8s %-6s %12s %9s %12s\n", "pool_mb", "query", "modeled_s",
+              "hit_rate", "misses");
+
+  std::vector<paradise::bench::QueryPerfSample> samples;
+  for (int mb : pool_mbs) {
+    paradise::core::Cluster::Options copts;
+    copts.buffer_pool_frames =
+        (static_cast<size_t>(mb) << 20) / paradise::storage::kPageSize;
+    paradise::bench::LoadedDb loaded =
+        paradise::bench::LoadDbWithOptions(cfg, 4, 1, copts);
+    loaded.cluster->SetNumThreads(8);
+    loaded.cluster->ResetForQuery();  // cold start at this pool size
+    // Attach a workload session: without one, BeginQuery cold-resets the
+    // pools before *every* query (the single-query protocol), which makes
+    // the hit rate a constant regardless of pool size. With one, pools
+    // stay warm across queries and the sweep measures retention.
+    paradise::core::WorkloadSession::Options sopts;
+    sopts.num_streams = 1;
+    sopts.result_cache = false;  // pool behaviour, not cache behaviour
+    paradise::core::WorkloadSession session(loaded.cluster.get(), sopts);
+    loaded.cluster->set_workload_session(&session);
+    session.BindStream(0);
+    double now = 0.0;
+    for (int query : {2, 12, 13}) {
+      // First execution streams the working set in; the *second* one
+      // measures what the pool retained — the number the sizing trade-off
+      // actually turns on (a pool below the re-reference distance pays
+      // the full I/O again, a pool above it serves from memory).
+      for (int warm = 0; warm < 1; ++warm) {
+        paradise::core::WorkloadSession::Ticket* t = session.AwaitAdmission(now);
+        double secs = paradise::bench::RunQuerySeconds(loaded.db.get(), query);
+        now = t->admit_seconds + secs;
+        session.FinishQuery(secs);
+      }
+      BufferPool::Stats before = PoolStatsAllNodes(loaded.cluster.get());
+      Clock::time_point t0 = Clock::now();
+      paradise::core::WorkloadSession::Ticket* t = session.AwaitAdmission(now);
+      double modeled =
+          paradise::bench::RunQuerySeconds(loaded.db.get(), query);
+      now = t->admit_seconds + modeled;
+      session.FinishQuery(modeled);
+      double wall = std::chrono::duration<double>(Clock::now() - t0).count();
+      BufferPool::Stats after = PoolStatsAllNodes(loaded.cluster.get());
+      BufferPool::Stats d;
+      d.Add(after);
+      d.hits -= before.hits;
+      d.misses -= before.misses;
+      d.readahead_pages -= before.readahead_pages;
+      const double denom =
+          static_cast<double>(d.hits + d.misses + d.readahead_pages);
+      const double hit_rate =
+          denom > 0 ? static_cast<double>(d.hits) / denom : 1.0;
+      std::printf("%-8d Q%-5d %12.6f %8.1f%% %12lld\n", mb, query, modeled,
+                  hit_rate * 100,
+                  static_cast<long long>(d.misses + d.readahead_pages));
+      samples.push_back({"pool" + std::to_string(mb) + "mb_Q" +
+                             std::to_string(query),
+                         wall, modeled});
+    }
+    session.EndStream();
+    loaded.cluster->set_workload_session(nullptr);
+  }
+  return samples;
+}
+
+/// Pulls `--pool-mb=a,b,c` out of argv (so google-benchmark's flag parser
+/// never sees it), returning the requested sweep points.
+std::vector<int> ExtractPoolSweepArg(int* argc, char** argv) {
+  std::vector<int> mbs;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strncmp(argv[i], "--pool-mb=", 10) == 0) {
+      for (const char* p = argv[i] + 10; *p != '\0';) {
+        mbs.push_back(std::atoi(p));
+        while (*p != '\0' && *p != ',') ++p;
+        if (*p == ',') ++p;
+      }
+      for (int j = i; j + 1 < *argc; ++j) argv[j] = argv[j + 1];
+      --*argc;
+      return mbs;
+    }
+    if (std::strcmp(argv[i], "--pool-mb") == 0) {
+      mbs = {8, 16, 32, 64};
+      for (int j = i; j + 1 < *argc; ++j) argv[j] = argv[j + 1];
+      --*argc;
+      return mbs;
+    }
+  }
+  return mbs;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string json_path = paradise::bench::ExtractJsonPathArg(&argc, argv);
+  std::vector<int> pool_mbs = ExtractPoolSweepArg(&argc, argv);
   ::benchmark::Initialize(&argc, argv);
   if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   ::benchmark::RunSpecifiedBenchmarks();
@@ -319,6 +430,11 @@ int main(int argc, char** argv) {
   std::vector<paradise::bench::QueryPerfSample> samples = RunQuerySection();
   std::vector<paradise::bench::QueryPerfSample> joins = RunSpatialJoinSection();
   samples.insert(samples.end(), joins.begin(), joins.end());
+  if (!pool_mbs.empty()) {
+    std::vector<paradise::bench::QueryPerfSample> sweep =
+        RunPoolSweep(pool_mbs);
+    samples.insert(samples.end(), sweep.begin(), sweep.end());
+  }
   if (!json_path.empty()) {
     paradise::bench::WriteBenchJson(json_path, "bench_micro", samples);
     std::printf("wrote %s\n", json_path.c_str());

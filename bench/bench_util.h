@@ -63,10 +63,11 @@ struct LoadedDb {
   std::unique_ptr<benchmark::BenchmarkDatabase> db;
 };
 
-inline LoadedDb LoadDb(const BenchConfig& cfg, int nodes, int scale,
-                       bool decluster_rasters = false) {
+inline LoadedDb LoadDbWithOptions(const BenchConfig& cfg, int nodes,
+                                  int scale, core::Cluster::Options copts,
+                                  bool decluster_rasters = false) {
   LoadedDb out;
-  out.cluster = std::make_unique<core::Cluster>(nodes);
+  out.cluster = std::make_unique<core::Cluster>(nodes, copts);
   datagen::GlobalDataSet ds =
       datagen::GenerateGlobalDataSet(cfg.MakeOptions(scale));
   benchmark::LoadOptions lopts;
@@ -79,6 +80,12 @@ inline LoadedDb LoadDb(const BenchConfig& cfg, int nodes, int scale,
   }
   out.db = std::move(*db);
   return out;
+}
+
+inline LoadedDb LoadDb(const BenchConfig& cfg, int nodes, int scale,
+                       bool decluster_rasters = false) {
+  return LoadDbWithOptions(cfg, nodes, scale, core::Cluster::Options{},
+                           decluster_rasters);
 }
 
 inline double RunQuerySeconds(benchmark::BenchmarkDatabase* db, int query) {

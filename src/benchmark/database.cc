@@ -2,6 +2,7 @@
 
 #include "array/raster.h"
 #include "common/logging.h"
+#include "core/topology.h"
 
 namespace paradise::benchmark {
 
@@ -165,7 +166,28 @@ StatusOr<std::unique_ptr<BenchmarkDatabase>> BenchmarkDatabase::Load(
                             core::SpatialGrid::kDefaultTilesPerAxis,
                             &owners));
   }
+  // Register with the cluster's topology layer: membership changes
+  // (join/drain/remove) and online tile migration now maintain these
+  // tables' grids, fragments, and epochs.
+  core::TopologyManager* topology = cluster->topology();
+  topology->RegisterTable(db->places_.get());
+  topology->RegisterTable(db->roads_.get());
+  topology->RegisterTable(db->drainage_.get());
+  topology->RegisterTable(db->land_cover_.get());
+  topology->RegisterTable(db->raster_.get());
   return db;
+}
+
+BenchmarkDatabase::~BenchmarkDatabase() {
+  // The cluster (and its TopologyManager) outlives this database object;
+  // drop the registrations so pending migration state cannot dangle.
+  if (cluster_ == nullptr) return;
+  core::TopologyManager* topology = cluster_->topology();
+  for (core::ParallelTable* t :
+       {places_.get(), roads_.get(), drainage_.get(), land_cover_.get(),
+        raster_.get()}) {
+    if (t != nullptr) topology->UnregisterTable(t);
+  }
 }
 
 std::vector<BenchmarkDatabase::TableStats> BenchmarkDatabase::Stats() const {

@@ -46,6 +46,9 @@ class BenchmarkDatabase {
       core::Cluster* cluster, const datagen::GlobalDataSet& ds,
       const LoadOptions& options = {});
 
+  /// Unregisters the tables from the cluster's TopologyManager.
+  ~BenchmarkDatabase();
+
   core::Cluster* cluster() { return cluster_; }
   core::ParallelTable& places() { return *places_; }
   core::ParallelTable& roads() { return *roads_; }

@@ -516,6 +516,9 @@ StatusOr<QueryResult> RunQuery13(BenchmarkDatabase* db) {
   opts.tiles_per_axis = db->drainage().grid().tiles_per_axis();
   opts.left_predeclustered = true;
   opts.right_predeclustered = true;
+  // Predeclustered join: route and duplicate-eliminate on the tables'
+  // own grid so migration reassignments line up with the data placement.
+  opts.routing_grid = &db->drainage().grid();
   PARADISE_ASSIGN_OR_RETURN(
       PerNode joined,
       core::ParallelSpatialJoin(&coord, drainage, col::kLineShape, roads,

@@ -1,6 +1,7 @@
 #include "core/cluster.h"
 
 #include "common/logging.h"
+#include "core/topology.h"
 
 namespace paradise::core {
 
@@ -47,7 +48,7 @@ void Node::SetFaultInjector(sim::FaultInjector* injector) {
 
 Cluster::Cluster(int num_nodes) : Cluster(num_nodes, Options{}) {}
 
-Cluster::Cluster(int num_nodes, Options options) {
+Cluster::Cluster(int num_nodes, Options options) : options_(options) {
   PARADISE_CHECK(num_nodes > 0);
   for (int i = 0; i < num_nodes; ++i) {
     nodes_.push_back(std::make_unique<Node>(static_cast<uint32_t>(i),
@@ -56,6 +57,22 @@ Cluster::Cluster(int num_nodes, Options options) {
                                             options.pool_shards));
   }
   alive_.assign(nodes_.size(), true);
+  topology_ = std::make_unique<TopologyManager>(this);
+}
+
+Cluster::~Cluster() = default;
+
+int Cluster::AddNode() {
+  int id = static_cast<int>(nodes_.size());
+  nodes_.push_back(std::make_unique<Node>(static_cast<uint32_t>(id),
+                                          options_.buffer_pool_frames,
+                                          options_.data_volumes_per_node,
+                                          options_.pool_shards));
+  alive_.push_back(true);
+  Node& n = *nodes_.back();
+  n.pool()->set_retry_policy(retry_policy_);
+  if (fault_injector_ != nullptr) n.SetFaultInjector(fault_injector_);
+  return id;
 }
 
 void Cluster::ChargeTransfer(uint32_t from, uint32_t to, int64_t bytes) {
@@ -140,6 +157,10 @@ Status Cluster::RecoverNode(
 void Cluster::MarkNodeDead(int i) {
   PARADISE_CHECK_MSG(num_alive() > 1, "cannot lose the last node");
   alive_[static_cast<size_t>(i)] = false;
+}
+
+void Cluster::MarkNodeAlive(int i) {
+  alive_[static_cast<size_t>(i)] = true;
 }
 
 void Cluster::ResetForQuery() {

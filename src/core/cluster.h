@@ -23,6 +23,7 @@
 
 namespace paradise::core {
 
+class TopologyManager;
 class WorkloadSession;
 
 /// One data server (Section 2.2): its own disks, buffer pool, large-object
@@ -92,6 +93,7 @@ class Cluster {
 
   explicit Cluster(int num_nodes);
   Cluster(int num_nodes, Options options);
+  ~Cluster();
 
   int num_nodes() const { return static_cast<int>(nodes_.size()); }
   Node& node(int i) { return *nodes_[i]; }
@@ -138,6 +140,22 @@ class Cluster {
   /// Declares a node permanently failed; RunPhase skips dead nodes.
   void MarkNodeDead(int i);
 
+  /// Reinstates a node previously removed/marked dead (rolling-restart
+  /// rejoin). The node comes back cold; whoever removed it is
+  /// responsible for migrating data back onto it.
+  void MarkNodeAlive(int i);
+
+  // -- Elastic membership -------------------------------------------------
+
+  /// Appends a new empty node (same per-node configuration as the rest
+  /// of the cluster) and returns its id. Existing Node references stay
+  /// valid. Callers normally go through TopologyManager::AddNode, which
+  /// also extends table grids and plans rebalancing migration.
+  int AddNode();
+
+  /// The epoch-versioned membership/migration layer (always present).
+  TopologyManager* topology() { return topology_.get(); }
+
   /// Invoked by the coordinator after a permanent node loss, before the
   /// query resumes: redeclusters the dead node's table fragments over the
   /// survivors (installed by whoever owns the tables).
@@ -176,8 +194,10 @@ class Cluster {
 
  private:
   sim::CostModel cost_model_;
+  Options options_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<bool> alive_;
+  std::unique_ptr<TopologyManager> topology_;
   sim::NodeClock coordinator_clock_;
   std::unique_ptr<common::ThreadPool> thread_pool_;
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "core/topology.h"
+
 namespace paradise::core {
 
 // ---------------------------------------------------------------------------
@@ -138,7 +140,14 @@ int WorkloadSession::BeginPhaseTurn() {
   Entity* e = BoundLocked();
   if (e == nullptr) return 0;
   ParkUntilGrantedLocked(lock, e, e->ticket.now_seconds);
-  return in_flight_ > 0 ? in_flight_ - 1 : 0;
+  // Background migration streams contend for the same disks and links as
+  // an admitted query would.
+  return (in_flight_ > 0 ? in_flight_ - 1 : 0) + background_load_;
+}
+
+int WorkloadSession::in_flight() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return in_flight_;
 }
 
 void WorkloadSession::RegisterScan(const std::string& key,
@@ -268,6 +277,11 @@ Status QueryCoordinator::BeginQuery() {
   phases_.clear();
   node_pbsm_.assign(node_pbsm_.size(), exec::PbsmJoinStats{});
   ended_ = false;
+  // Pin the topology epoch this query admits under: rows orphaned by
+  // later migration cutovers stay resolvable until the pin is released.
+  if (epoch_pinned_) cluster_->topology()->UnpinEpoch(pinned_epoch_);
+  pinned_epoch_ = cluster_->topology()->PinEpoch();
+  epoch_pinned_ = true;
   // Barrier 0: a crash scheduled "at query start" fires before any phase.
   return HandleBarrierFaults();
 }
@@ -275,6 +289,10 @@ Status QueryCoordinator::BeginQuery() {
 void QueryCoordinator::EndQuery() {
   if (ended_) return;
   ended_ = true;
+  if (epoch_pinned_) {
+    cluster_->topology()->UnpinEpoch(pinned_epoch_);
+    epoch_pinned_ = false;
+  }
   DiscardOpenPhase();
 }
 

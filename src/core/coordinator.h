@@ -159,6 +159,14 @@ class WorkloadSession {
 
   const Options& options() const { return options_; }
   Cluster* cluster() { return cluster_; }
+  /// Queries currently admitted (holding slots). The TopologyManager's
+  /// migration pump only executes moves when this is zero.
+  int in_flight() const;
+  /// Contention surcharge for active background work (tile migration):
+  /// added to every phase's K so foreground queries pay for sharing the
+  /// disks and links with the migration stream. Set by the
+  /// TopologyManager; 0 when migration is idle.
+  void set_background_load(int load) { background_load_ = load; }
   int64_t cache_hits() const;
   int64_t cache_misses() const;
   int64_t cache_invalidations() const;
@@ -205,6 +213,7 @@ class WorkloadSession {
   std::unordered_map<std::thread::id, Entity*> bound_;
   int registered_ = 0;
   int in_flight_ = 0;
+  int background_load_ = 0;
   int64_t next_seq_ = 0;
   std::deque<Entity*> admission_queue_;
   std::unordered_map<std::string, std::vector<ScanWindow>> scans_;
@@ -362,6 +371,8 @@ class QueryCoordinator {
   sim::RetryPolicy retry_policy_;
   double query_seconds_ = 0.0;
   int barriers_passed_ = 0;
+  uint64_t pinned_epoch_ = 0;  // topology epoch this query admitted under
+  bool epoch_pinned_ = false;
   std::vector<PhaseReport> phases_;
   std::vector<exec::PbsmJoinStats> node_pbsm_;
   bool ended_ = false;

@@ -5,6 +5,7 @@
 #include <cstdint>
 
 #include "common/logging.h"
+#include "core/topology.h"
 #include "sim/cost_model.h"
 
 namespace paradise::core {
@@ -108,6 +109,9 @@ StatusOr<PerNode> ParallelSpatialIndexSelect(QueryCoordinator* coord,
       coord->RunPhase("spatial index select", [&](int n) -> Status {
         const ParallelTable::Fragment& frag = table.fragment(n);
         if (frag.rtree == nullptr) {
+          // A just-joined node's fragment is empty until migration lands
+          // rows (which builds the index incrementally): zero matches.
+          if (frag.num_live() == 0) return Status::OK();
           return Status::FailedPrecondition("no spatial index");
         }
         NodeExecContext nc = MakeNodeContext(cluster, n);
@@ -162,6 +166,7 @@ StatusOr<PerNode> ParallelIndexSelectString(QueryCoordinator* coord,
         const ParallelTable::Fragment& frag = table.fragment(n);
         auto it = frag.string_indexes.find(column);
         if (it == frag.string_indexes.end()) {
+          if (frag.num_live() == 0) return Status::OK();  // fresh node
           return Status::FailedPrecondition("no index on column");
         }
         PARADISE_RETURN_IF_ERROR(
@@ -187,6 +192,7 @@ StatusOr<PerNode> ParallelIndexSelectIntRange(QueryCoordinator* coord,
         const ParallelTable::Fragment& frag = table.fragment(n);
         auto it = frag.int_indexes.find(column);
         if (it == frag.int_indexes.end()) {
+          if (frag.num_live() == 0) return Status::OK();  // fresh node
           return Status::FailedPrecondition("no index on column");
         }
         sim::NodeClock* clock = cluster->node(n).clock();
@@ -328,14 +334,16 @@ StatusOr<PerNode> ParallelSpatialJoin(QueryCoordinator* coord,
                                       const ParallelSpatialJoinOptions& opts) {
   Cluster* cluster = coord->cluster();
   int N = cluster->num_nodes();
-  SpatialGrid grid(universe, opts.tiles_per_axis, static_cast<uint32_t>(N));
-  // Mirror the tables' post-crash tile remapping (ParallelTable does the
-  // same on redecluster): a dead node's tiles rehash over the survivors.
-  // Without this, the reference-point filter below asks for the dead
-  // node's vote and its pairs vanish from the answer.
-  for (int n = 0; n < N; ++n) {
-    if (!cluster->alive(n)) grid.MarkNodeDead(static_cast<uint32_t>(n));
-  }
+  // The single source of truth for ownership and liveness: either the
+  // caller's table grid (predeclustered joins) or a topology-derived
+  // routing grid. A dead node's tiles rehash over the survivors; without
+  // that, the reference-point filter below asks for the dead node's vote
+  // and its pairs vanish from the answer.
+  const SpatialGrid grid =
+      opts.routing_grid != nullptr
+          ? *opts.routing_grid
+          : cluster->topology()->MakeRoutingGrid(universe,
+                                                 opts.tiles_per_axis);
 
   // Phase 1: spatial redeclustering with replication (skipped for inputs
   // already declustered on this grid).
@@ -439,7 +447,8 @@ StatusOr<TupleVec> SpatialJoinWithClosest(
     uint32_t tiles_per_axis, ClosestJoinStats* stats) {
   Cluster* cluster = coord->cluster();
   int N = cluster->num_nodes();
-  SpatialGrid grid(universe, tiles_per_axis, static_cast<uint32_t>(N));
+  const SpatialGrid grid =
+      cluster->topology()->MakeRoutingGrid(universe, tiles_per_axis);
   double universe_area = universe.Area();
 
   // Step 1-2: decluster features (with replication) and points on the

@@ -90,6 +90,13 @@ struct ParallelSpatialJoinOptions {
   /// (redistribution) is skipped for them (Section 2.7.2).
   bool left_predeclustered = false;
   bool right_predeclustered = false;
+  /// The grid to route and duplicate-eliminate on. Predeclustered joins
+  /// MUST pass their table's grid so migration reassignments line up;
+  /// when null, the join asks the cluster's TopologyManager for a
+  /// routing grid (base hash over the current nodes, carrying the
+  /// canonical table's reassignments when the geometry matches, dead
+  /// nodes rehashed) instead of deriving liveness onto a local copy.
+  const SpatialGrid* routing_grid = nullptr;
 };
 
 /// Parallel spatial join (Section 2.7.2): spatially redecluster both

@@ -2,6 +2,7 @@
 #define PARADISE_CORE_SPATIAL_GRID_H_
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "common/logging.h"
@@ -15,6 +16,13 @@ namespace paradise::core {
 /// number. Tuples go to every node owning a tile their MBR overlaps
 /// (replication); exactly one copy — the one at the tile holding the
 /// feature's reference point — is the *primary* copy.
+///
+/// Ownership resolution is layered: a planned reassignment (tile
+/// migration, scale-out onto an added node) overrides the base hash,
+/// and the dead-node rehash then applies to whatever that resolves to.
+/// The `epoch` counter versions the assignment: every topology change
+/// (join/leave/migration cutover) bumps it, so readers can pin the
+/// epoch they started under.
 class SpatialGrid {
  public:
   /// The paper breaks the universe into 10,000 tiles (100 x 100).
@@ -25,7 +33,8 @@ class SpatialGrid {
               uint32_t num_nodes)
       : universe_(universe),
         tiles_per_axis_(tiles_per_axis),
-        num_nodes_(num_nodes) {
+        num_nodes_(num_nodes),
+        max_node_(num_nodes - 1) {
     PARADISE_CHECK(tiles_per_axis > 0 && num_nodes > 0);
     PARADISE_CHECK(!universe.IsEmpty());
   }
@@ -34,6 +43,14 @@ class SpatialGrid {
   uint32_t tiles_per_axis() const { return tiles_per_axis_; }
   uint32_t num_tiles() const { return tiles_per_axis_ * tiles_per_axis_; }
   uint32_t num_nodes() const { return num_nodes_; }
+  /// Highest node id the grid can route to (>= num_nodes()-1 once nodes
+  /// have been added by a scale-out).
+  uint32_t max_node() const { return max_node_; }
+
+  /// Monotonic topology version; bumped by the owner (TopologyManager)
+  /// on every membership change and migration cutover.
+  uint64_t epoch() const { return epoch_; }
+  void set_epoch(uint64_t epoch) { epoch_ = epoch; }
 
   /// Tile numbering is row-major starting at the upper-left corner
   /// (max y, min x), as Query 12's description specifies.
@@ -43,40 +60,82 @@ class SpatialGrid {
     return cy * tiles_per_axis_ + cx;
   }
 
-  /// Node owning a tile: hash on the tile number. Tiles whose hashed
-  /// owner has been marked dead are rehashed over the survivors, so a
-  /// dead node's tiles spread across all remaining nodes deterministically
-  /// (the survivor redistribution scheme used after a permanent loss).
+  /// Node owning a tile: planned reassignment if present, else hash on
+  /// the tile number. Tiles whose resolved owner has been marked dead
+  /// are rehashed over the survivors, so a dead node's tiles spread
+  /// across all remaining nodes deterministically (the survivor
+  /// redistribution scheme used after a permanent loss).
   uint32_t NodeOfTile(uint32_t tile) const {
-    uint32_t n = BaseNodeOfTile(tile);
-    if (alive_nodes_.empty() || !dead_[n]) return n;
+    uint32_t n;
+    if (!reassigned_.empty()) {
+      auto it = reassigned_.find(tile);
+      n = it != reassigned_.end() ? it->second : BaseNodeOfTile(tile);
+    } else {
+      n = BaseNodeOfTile(tile);
+    }
+    if (alive_nodes_.empty() || n >= dead_.size() || !dead_[n]) return n;
     // Use independent hash bits for the secondary placement so the
     // reassigned tiles do not all land on one survivor.
     uint64_t h = (tile + 0x51ed270b) * 0xbf58476d1ce4e5b9ULL;
     return alive_nodes_[(h >> 32) % alive_nodes_.size()];
   }
 
-  /// The pre-failure owner of a tile (ignores dead-node remapping).
+  /// The unmodified hash owner of a tile (ignores planned reassignment
+  /// and dead-node remapping).
   uint32_t BaseNodeOfTile(uint32_t tile) const {
     // Fibonacci hashing spreads consecutive tiles across nodes.
     uint64_t h = tile * 0x9e3779b97f4a7c15ULL;
     return static_cast<uint32_t>((h >> 32) % num_nodes_);
   }
 
+  /// Extends the routable node domain to include `node` (scale-out).
+  /// The base hash still spreads over the original num_nodes(); added
+  /// nodes only receive tiles through explicit reassignment.
+  void IncludeNode(uint32_t node) {
+    if (node > max_node_) max_node_ = node;
+    if (!dead_.empty() && dead_.size() <= max_node_) {
+      dead_.resize(max_node_ + 1, 0);
+      RebuildAliveNodes();
+    }
+  }
+
+  /// Plans/commits tile ownership: `tile` now belongs to `node`
+  /// regardless of the base hash (the dead-node rehash still applies
+  /// should `node` later die).
+  void ReassignTile(uint32_t tile, uint32_t node) {
+    PARADISE_CHECK(tile < num_tiles());
+    IncludeNode(node);
+    if (node == BaseNodeOfTile(tile)) {
+      reassigned_.erase(tile);
+    } else {
+      reassigned_[tile] = node;
+    }
+  }
+
+  /// Tiles currently reassigned away from their base owner.
+  const std::unordered_map<uint32_t, uint32_t>& reassigned_tiles() const {
+    return reassigned_;
+  }
+
   /// Marks a node dead: every tile it owned is remapped over survivors.
   void MarkNodeDead(uint32_t node) {
-    if (dead_.empty()) dead_.assign(num_nodes_, 0);
-    PARADISE_CHECK(node < num_nodes_);
+    IncludeNode(node);
+    if (dead_.empty()) dead_.assign(max_node_ + 1, 0);
+    PARADISE_CHECK(node <= max_node_);
     dead_[node] = 1;
-    alive_nodes_.clear();
-    for (uint32_t n = 0; n < num_nodes_; ++n) {
-      if (!dead_[n]) alive_nodes_.push_back(n);
-    }
+    RebuildAliveNodes();
     PARADISE_CHECK_MSG(!alive_nodes_.empty(), "all grid nodes dead");
   }
 
+  /// Reinstates a previously dead/removed node (rolling-restart rejoin).
+  void MarkNodeAlive(uint32_t node) {
+    if (dead_.empty() || node >= dead_.size() || !dead_[node]) return;
+    dead_[node] = 0;
+    RebuildAliveNodes();
+  }
+
   bool node_dead(uint32_t node) const {
-    return !dead_.empty() && dead_[node] != 0;
+    return !dead_.empty() && node < dead_.size() && dead_[node] != 0;
   }
 
   uint32_t NodeOfPoint(const geom::Point& p) const {
@@ -112,7 +171,7 @@ class SpatialGrid {
 
   /// Distinct destination nodes for a feature with MBR `b`.
   std::vector<uint32_t> NodesOfBox(const geom::Box& b) const {
-    std::vector<uint8_t> seen(num_nodes_, 0);
+    std::vector<uint8_t> seen(max_node_ + 1, 0);
     std::vector<uint32_t> nodes;
     for (uint32_t t : TilesOfBox(b)) {
       uint32_t n = NodeOfTile(t);
@@ -147,6 +206,13 @@ class SpatialGrid {
   }
 
  private:
+  void RebuildAliveNodes() {
+    alive_nodes_.clear();
+    for (uint32_t n = 0; n <= max_node_; ++n) {
+      if (n >= dead_.size() || !dead_[n]) alive_nodes_.push_back(n);
+    }
+  }
+
   uint32_t CoordToCell(double offset, double extent) const {
     double f = offset / extent * tiles_per_axis_;
     if (f < 0) f = 0;
@@ -157,6 +223,11 @@ class SpatialGrid {
   geom::Box universe_;
   uint32_t tiles_per_axis_ = 1;
   uint32_t num_nodes_ = 1;
+  uint32_t max_node_ = 0;
+  uint64_t epoch_ = 0;
+  // Planned tile->owner overrides (migration cutovers); consulted
+  // before the base hash.
+  std::unordered_map<uint32_t, uint32_t> reassigned_;
   std::vector<uint8_t> dead_;           // empty until a node dies
   std::vector<uint32_t> alive_nodes_;  // ascending; empty until a node dies
 };

@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 
 #include "array/chunked_array.h"
 #include "array/raster.h"
 #include "common/logging.h"
 #include "core/pull.h"
+#include "core/topology.h"
 #include "sim/cost_model.h"
 
 namespace paradise::core {
@@ -181,7 +183,7 @@ int64_t ParallelTable::num_rows() const {
 
 int64_t ParallelTable::num_stored() const {
   int64_t n = 0;
-  for (const auto& f : fragments_) n += f->num_rows();
+  for (const auto& f : fragments_) n += f->num_live();
   return n;
 }
 
@@ -230,7 +232,136 @@ StatusOr<array::Raster> CopyRasterToNode(Cluster* cluster, int dest_node,
 
 }  // namespace
 
+namespace {
+
+/// Per-operation claim cursor over a fragment's persistent contents map.
+/// Pairs each shipped copy with at most one distinct pre-existing *live*
+/// copy at the destination; entries appended by the current operation are
+/// excluded (the limit is snapshotted at first touch of a key, before any
+/// same-key insert can happen), reproducing the one-shot consumption
+/// semantics the old per-salvage survivor content map had.
+class ContentClaims {
+ public:
+  explicit ContentClaims(const ParallelTable::Fragment* frag)
+      : frag_(frag) {}
+
+  /// Returns the row id of a claimed pre-existing live copy, or -1.
+  int64_t Claim(const std::string& key) {
+    if (frag_->contents == nullptr) return -1;
+    auto it = frag_->contents->find(key);
+    if (it == frag_->contents->end()) return -1;
+    auto [cur, unused] =
+        cursors_.try_emplace(key, Cursor{0, it->second.size()});
+    Cursor& c = cur->second;
+    while (c.next < c.limit) {
+      uint64_t r = it->second[c.next++];
+      if (frag_->row_live(r)) return static_cast<int64_t>(r);
+    }
+    return -1;
+  }
+
+ private:
+  struct Cursor {
+    size_t next;
+    size_t limit;
+  };
+  const ParallelTable::Fragment* frag_;
+  std::unordered_map<std::string, Cursor> cursors_;
+};
+
+}  // namespace
+
+Status ParallelTable::EnsureContents(Cluster* cluster, int node) {
+  Fragment& frag = *fragments_[node];
+  if (frag.contents != nullptr) return Status::OK();
+  frag.contents = std::make_unique<
+      std::unordered_map<std::string, std::vector<uint64_t>>>();
+  frag.contents->reserve(frag.oids.size());
+  sim::NodeClock* clock = cluster->node(node).clock();
+  for (uint64_t r = 0; r < frag.oids.size(); ++r) {
+    if (!frag.row_live(r)) continue;
+    PARADISE_ASSIGN_OR_RETURN(ByteBuffer rec, frag.file->Get(frag.oids[r]));
+    clock->ChargeCpu(sim::cpu_cost::kTupleOverhead + sim::cpu_cost::kHash);
+    (*frag.contents)[RecordKey(rec)].push_back(r);
+  }
+  return Status::OK();
+}
+
+StatusOr<ParallelTable::InsertOutcome> ParallelTable::InsertMigratedRow(
+    Cluster* cluster, int node, const Tuple& row, const ByteBuffer& record,
+    bool make_primary) {
+  Tuple local = row;  // shallow copy; rasters deep-copied below
+  ByteBuffer rec;
+  bool reencode = false;
+  for (Value& v : local.values) {
+    if (v.type() == ValueType::kRaster) {
+      PARADISE_ASSIGN_OR_RETURN(
+          array::Raster moved, CopyRasterToNode(cluster, node, *v.AsRaster()));
+      v = Value(std::move(moved));
+      reencode = true;
+    }
+  }
+  if (reencode) {
+    rec = EncodeRow(local, make_primary);
+  } else {
+    rec = record;
+    rec[0] = make_primary ? 1 : 0;
+  }
+  Fragment& frag = *fragments_[node];
+  PARADISE_ASSIGN_OR_RETURN(storage::Oid oid, frag.file->Insert(nullptr, rec));
+  frag.oids.push_back(oid);
+  frag.primary.push_back(make_primary ? 1 : 0);
+  if (!frag.live.empty()) frag.live.push_back(1);
+  const uint64_t r = frag.oids.size() - 1;
+  sim::NodeClock* clock = cluster->node(node).clock();
+  clock->ChargeCpu(sim::cpu_cost::kTupleOverhead +
+                   sim::cpu_cost::kPerByteCopied *
+                       static_cast<double>(rec.size()));
+  for (const catalog::IndexDef& idx : def_.indexes) {
+    clock->ChargeCpu(sim::cpu_cost::kIndexProbe);
+    if (idx.spatial) {
+      if (frag.rtree == nullptr) {
+        frag.rtree = std::make_unique<index::RStarTree>();
+      }
+      frag.rtree->Insert(local.at(idx.column).Mbr(), r);
+    } else {
+      ValueType t = def_.schema.column(idx.column).type;
+      if (t == ValueType::kString) {
+        frag.string_indexes[idx.column].Insert(local.at(idx.column).AsString(),
+                                               r);
+      } else {
+        const Value& v = local.at(idx.column);
+        int64_t key = t == ValueType::kInt ? v.AsInt()
+                                           : v.AsDate().days_since_epoch();
+        frag.int_indexes[idx.column].Insert(key, r);
+      }
+    }
+  }
+  if (frag.contents != nullptr) {
+    (*frag.contents)[RecordKey(rec)].push_back(r);
+  }
+  return InsertOutcome{r, static_cast<int64_t>(rec.size())};
+}
+
+Status ParallelTable::SetRowPrimary(Cluster* cluster, int node, uint64_t row,
+                                    bool primary) {
+  // Flip the flag byte of the *stored* record: the caller's staged bytes
+  // may have been re-encoded on insert (raster deep copies), so they are
+  // not a valid in-place-update template here.
+  Fragment& frag = *fragments_[node];
+  PARADISE_ASSIGN_OR_RETURN(ByteBuffer rec, frag.file->Get(frag.oids[row]));
+  rec[0] = primary ? 1 : 0;
+  PARADISE_RETURN_IF_ERROR(frag.file->Update(nullptr, frag.oids[row], rec));
+  frag.primary[row] = primary ? 1 : 0;
+  cluster->node(node).clock()->ChargeCpu(sim::cpu_cost::kTupleOverhead);
+  return Status::OK();
+}
+
 Status ParallelTable::RedeclusterAfterLoss(Cluster* cluster, int dead_node) {
+  return cluster->topology()->MigrateForLoss(this, dead_node);
+}
+
+Status ParallelTable::SalvageDeadNode(Cluster* cluster, int dead_node) {
   PARADISE_CHECK_MSG(!cluster->alive(dead_node),
                      "redecluster target must be marked dead first");
   Fragment& dead = *fragments_[dead_node];
@@ -240,8 +371,23 @@ Status ParallelTable::RedeclusterAfterLoss(Cluster* cluster, int dead_node) {
 
   const bool spatial =
       def_.partitioning == catalog::PartitioningKind::kSpatial;
-  if (spatial && !grid_.node_dead(static_cast<uint32_t>(dead_node))) {
-    grid_.MarkNodeDead(static_cast<uint32_t>(dead_node));
+
+  // The tiles whose *pre-death* owner was the dead node: resolved through
+  // planned reassignments but before the dead rehash. Materializing the
+  // rehash as explicit reassignments afterwards keeps the assignment
+  // exact for any later loss or reinstatement.
+  std::unordered_set<uint32_t> lost_tiles;
+  if (spatial) {
+    const uint32_t dead32 = static_cast<uint32_t>(dead_node);
+    const auto& overrides = grid_.reassigned_tiles();
+    for (uint32_t t = 0; t < grid_.num_tiles(); ++t) {
+      auto it = overrides.find(t);
+      uint32_t resolved =
+          it != overrides.end() ? it->second : grid_.BaseNodeOfTile(t);
+      if (resolved == dead32) lost_tiles.insert(t);
+    }
+    if (!grid_.node_dead(dead32)) grid_.MarkNodeDead(dead32);
+    for (uint32_t t : lost_tiles) grid_.ReassignTile(t, grid_.NodeOfTile(t));
   }
 
   // 1. Salvage: sequentially read the dead fragment off its surviving
@@ -269,66 +415,17 @@ Status ParallelTable::RedeclusterAfterLoss(Cluster* cluster, int dead_node) {
     }
   }
 
-  // 2. For spatially declustered tables, survivors that already hold a
-  //    replica must keep it instead of storing a duplicate. Build each
-  //    survivor's content map once (a fragment read — part of the honest
-  //    integration cost).
-  std::unordered_map<int, std::unordered_map<std::string,
-                                             std::vector<uint64_t>>>
-      survivor_contents;
+  // 2. Survivors that already hold a replica must keep it instead of
+  //    storing a duplicate: consult each survivor's content index (built
+  //    on first use — a charged fragment read, part of the honest
+  //    integration cost — and maintained incrementally afterwards).
+  std::unordered_map<int, ContentClaims> claims;
   if (spatial && !salvaged.empty()) {
     for (int d : survivors) {
-      Fragment& frag = *fragments_[d];
-      sim::NodeClock* clock = cluster->node(d).clock();
-      auto& contents = survivor_contents[d];
-      contents.reserve(frag.oids.size());
-      for (uint64_t r = 0; r < frag.oids.size(); ++r) {
-        PARADISE_ASSIGN_OR_RETURN(ByteBuffer rec,
-                                  frag.file->Get(frag.oids[r]));
-        clock->ChargeCpu(sim::cpu_cost::kTupleOverhead +
-                         sim::cpu_cost::kHash);
-        contents[RecordKey(rec)].push_back(r);
-      }
+      PARADISE_RETURN_IF_ERROR(EnsureContents(cluster, d));
+      claims.emplace(d, ContentClaims(fragments_[d].get()));
     }
   }
-
-  // Appends `record` (whose tuple is `row`) to survivor `d`'s fragment
-  // and maintains its local indexes.
-  auto insert_row = [&](int d, const Tuple& row,
-                        const ByteBuffer& record) -> Status {
-    Fragment& frag = *fragments_[d];
-    PARADISE_ASSIGN_OR_RETURN(storage::Oid oid,
-                              frag.file->Insert(nullptr, record));
-    frag.oids.push_back(oid);
-    frag.primary.push_back(record[0]);
-    const uint64_t r = frag.oids.size() - 1;
-    sim::NodeClock* clock = cluster->node(d).clock();
-    clock->ChargeCpu(sim::cpu_cost::kTupleOverhead +
-                     sim::cpu_cost::kPerByteCopied *
-                         static_cast<double>(record.size()));
-    for (const catalog::IndexDef& idx : def_.indexes) {
-      clock->ChargeCpu(sim::cpu_cost::kIndexProbe);
-      if (idx.spatial) {
-        if (frag.rtree == nullptr) {
-          frag.rtree = std::make_unique<index::RStarTree>();
-        }
-        frag.rtree->Insert(row.at(idx.column).Mbr(), r);
-      } else {
-        ValueType t = def_.schema.column(idx.column).type;
-        if (t == ValueType::kString) {
-          frag.string_indexes[idx.column].Insert(
-              row.at(idx.column).AsString(), r);
-        } else {
-          const Value& v = row.at(idx.column);
-          int64_t key = t == ValueType::kInt
-                            ? v.AsInt()
-                            : v.AsDate().days_since_epoch();
-          frag.int_indexes[idx.column].Insert(key, r);
-        }
-      }
-    }
-    return Status::OK();
-  };
 
   // 3. Route every salvaged row to its post-loss owners.
   std::unordered_map<int, int64_t> shipped_bytes;
@@ -340,9 +437,7 @@ Status ParallelTable::RedeclusterAfterLoss(Cluster* cluster, int dead_node) {
       geom::Box mbr = s.tuple.at(def_.partition_column).Mbr();
       // The new owners of the dead node's tiles that this row overlapped.
       for (uint32_t t : grid_.TilesOfBox(mbr)) {
-        if (grid_.BaseNodeOfTile(t) == static_cast<uint32_t>(dead_node)) {
-          dests.push_back(grid_.NodeOfTile(t));
-        }
+        if (lost_tiles.count(t) != 0) dests.push_back(grid_.NodeOfTile(t));
       }
       std::sort(dests.begin(), dests.end());
       dests.erase(std::unique(dests.begin(), dests.end()), dests.end());
@@ -359,48 +454,24 @@ Status ParallelTable::RedeclusterAfterLoss(Cluster* cluster, int dead_node) {
       const int d = static_cast<int>(dest);
       const bool make_primary = s.primary && dest == primary_node;
       if (spatial) {
-        auto contents_it = survivor_contents.find(d);
-        if (contents_it != survivor_contents.end()) {
-          auto match = contents_it->second.find(RecordKey(s.record));
-          if (match != contents_it->second.end() &&
-              !match->second.empty()) {
-            // The survivor already holds a replica; consume it and, when
-            // the dead node held the primary copy, promote it in place.
-            uint64_t r = match->second.back();
-            match->second.pop_back();
+        auto claims_it = claims.find(d);
+        if (claims_it != claims.end()) {
+          int64_t r = claims_it->second.Claim(RecordKey(s.record));
+          if (r >= 0) {
+            // The survivor already holds a replica; keep it and, when the
+            // dead node held the primary copy, promote it in place.
             if (make_primary) {
-              Fragment& frag = *fragments_[d];
-              ByteBuffer promoted = s.record;
-              promoted[0] = 1;
               PARADISE_RETURN_IF_ERROR(
-                  frag.file->Update(nullptr, frag.oids[r], promoted));
-              frag.primary[r] = 1;
-              cluster->node(d).clock()->ChargeCpu(
-                  sim::cpu_cost::kTupleOverhead);
+                  SetRowPrimary(cluster, d, static_cast<uint64_t>(r), true));
             }
             continue;
           }
         }
       }
-      Tuple row = s.tuple;  // shallow copy; rasters deep-copied below
-      ByteBuffer record;
-      bool reencode = false;
-      for (Value& v : row.values) {
-        if (v.type() == ValueType::kRaster) {
-          PARADISE_ASSIGN_OR_RETURN(
-              array::Raster moved, CopyRasterToNode(cluster, d, *v.AsRaster()));
-          v = Value(std::move(moved));
-          reencode = true;
-        }
-      }
-      if (reencode) {
-        record = EncodeRow(row, make_primary);
-      } else {
-        record = s.record;
-        record[0] = make_primary ? 1 : 0;
-      }
-      shipped_bytes[d] += static_cast<int64_t>(record.size());
-      PARADISE_RETURN_IF_ERROR(insert_row(d, row, record));
+      PARADISE_ASSIGN_OR_RETURN(
+          InsertOutcome out,
+          InsertMigratedRow(cluster, d, s.tuple, s.record, make_primary));
+      shipped_bytes[d] += out.bytes;
     }
   }
 
@@ -414,14 +485,301 @@ Status ParallelTable::RedeclusterAfterLoss(Cluster* cluster, int dead_node) {
   // 4. Decommission the dead fragment so nothing can double-read it. The
   //    heap file object stays alive (it is registered with the node's
   //    transaction manager) but holds no records.
-  for (const storage::Oid& oid : dead.oids) {
-    PARADISE_RETURN_IF_ERROR(dead.file->Delete(nullptr, oid));
+  for (uint64_t r = 0; r < dead.oids.size(); ++r) {
+    if (!dead.row_live(r)) continue;  // already unstaged/GC'd
+    PARADISE_RETURN_IF_ERROR(dead.file->Delete(nullptr, dead.oids[r]));
   }
   dead.oids.clear();
   dead.primary.clear();
+  dead.live.clear();
   dead.rtree.reset();
   dead.string_indexes.clear();
   dead.int_indexes.clear();
+  dead.contents.reset();
+  return Status::OK();
+}
+
+Status ParallelTable::EnsureFragments(Cluster* cluster) {
+  while (static_cast<int>(fragments_.size()) < cluster->num_nodes()) {
+    const int n = static_cast<int>(fragments_.size());
+    auto frag = std::make_unique<Fragment>();
+    frag->file = std::make_unique<storage::HeapFile>(
+        next_file_id_++, cluster->node(n).pool(),
+        cluster->node(n).data_volume(n % cluster->node(n).num_data_volumes())
+            ->volume_id(),
+        cluster->node(n).log());
+    cluster->node(n).txn_manager()->RegisterFile(frag->file.get());
+    fragments_.push_back(std::move(frag));
+  }
+  return Status::OK();
+}
+
+StatusOr<ParallelTable::StagedMove> ParallelTable::StageTileRows(
+    Cluster* cluster, uint32_t tile, int source, int target) {
+  PARADISE_CHECK(def_.partitioning == catalog::PartitioningKind::kSpatial);
+  StagedMove st;
+  st.tile = tile;
+  st.source = source;
+  st.target = target;
+  Fragment& src = *fragments_[source];
+  if (src.oids.empty()) return st;
+  sim::NodeClock* sclock = cluster->node(source).clock();
+
+  // Candidate rows at the source overlapping the tile: pruned through the
+  // fragment R*-tree when it indexes the partition column (else its
+  // boxes are not the ones the grid declusters on), else a full walk.
+  const catalog::IndexDef* spatial_idx =
+      def_.FindIndexOn(def_.partition_column, /*spatial=*/true);
+  std::vector<uint64_t> candidates;
+  if (src.rtree != nullptr && spatial_idx != nullptr) {
+    sclock->ChargeCpu(sim::cpu_cost::kIndexProbe);
+    src.rtree->SearchOverlap(grid_.TileBox(tile),
+                             [&](const geom::Box&, uint64_t r) {
+                               candidates.push_back(r);
+                               return true;
+                             });
+    std::sort(candidates.begin(), candidates.end());
+  } else {
+    candidates.resize(src.oids.size());
+    for (uint64_t r = 0; r < src.oids.size(); ++r) candidates[r] = r;
+  }
+
+  // Exact membership: the row's partition-column MBR must map the tile
+  // into its replication set (the index column may differ, and touching a
+  // tile boundary is not the same as overlapping the tile's cell range).
+  struct Pending {
+    uint64_t row;
+    geom::Box mbr;
+    ByteBuffer record;
+    Tuple tuple;
+  };
+  std::vector<Pending> eligible;
+  for (uint64_t r : candidates) {
+    if (!src.row_live(r)) continue;
+    PARADISE_ASSIGN_OR_RETURN(ByteBuffer rec, src.file->Get(src.oids[r]));
+    sclock->ChargeCpu(sim::cpu_cost::kTupleOverhead +
+                      sim::cpu_cost::kPerByteCopied *
+                          static_cast<double>(rec.size()));
+    bool primary;
+    Tuple t = DecodeRow(rec, &primary);
+    geom::Box mbr = t.at(def_.partition_column).Mbr();
+    std::vector<uint32_t> tiles = grid_.TilesOfBox(mbr);
+    if (std::find(tiles.begin(), tiles.end(), tile) == tiles.end()) continue;
+    eligible.push_back(
+        Pending{r, mbr, std::move(rec), std::move(t)});
+  }
+  if (eligible.empty()) return st;
+
+  PARADISE_RETURN_IF_ERROR(EnsureContents(cluster, target));
+  ContentClaims claims(fragments_[target].get());
+  for (Pending& p : eligible) {
+    st.source_rows.push_back(StagedRowRef{p.row, p.mbr, p.record});
+    int64_t claimed = claims.Claim(RecordKey(p.record));
+    if (claimed >= 0) {
+      st.target_rows.push_back(
+          StagedRowRef{static_cast<uint64_t>(claimed), p.mbr, p.record});
+      ++st.rows_deduped;
+    } else {
+      // Staged copies land non-primary: invisible to primaries-only
+      // scans and filtered by the reference-point rule until cutover.
+      PARADISE_ASSIGN_OR_RETURN(
+          InsertOutcome out,
+          InsertMigratedRow(cluster, target, p.tuple, p.record, false));
+      st.target_rows.push_back(StagedRowRef{out.row, p.mbr, p.record});
+      st.inserted_rows.push_back(out.row);
+      st.bytes += out.bytes;
+      ++st.rows_shipped;
+    }
+  }
+  if (st.bytes > 0) {
+    cluster->ChargeTransfer(static_cast<uint32_t>(source),
+                            static_cast<uint32_t>(target), st.bytes);
+  }
+  return st;
+}
+
+StatusOr<ParallelTable::StagedMove> ParallelTable::StageStripeRows(
+    Cluster* cluster, int source, int target, size_t stripe_index,
+    size_t stripe_count) {
+  PARADISE_CHECK(def_.partitioning != catalog::PartitioningKind::kSpatial);
+  PARADISE_CHECK(stripe_count > 0 && stripe_index < stripe_count);
+  StagedMove st;
+  st.source = source;
+  st.target = target;
+  Fragment& src = *fragments_[source];
+  sim::NodeClock* sclock = cluster->node(source).clock();
+  for (uint64_t r = stripe_index; r < src.oids.size(); r += stripe_count) {
+    if (!src.row_live(r)) continue;
+    PARADISE_ASSIGN_OR_RETURN(ByteBuffer rec, src.file->Get(src.oids[r]));
+    sclock->ChargeCpu(sim::cpu_cost::kTupleOverhead +
+                      sim::cpu_cost::kPerByteCopied *
+                          static_cast<double>(rec.size()));
+    bool primary;
+    Tuple t = DecodeRow(rec, &primary);
+    st.source_rows.push_back(StagedRowRef{r, geom::Box(), rec});
+    PARADISE_ASSIGN_OR_RETURN(
+        InsertOutcome out, InsertMigratedRow(cluster, target, t, rec, false));
+    st.target_rows.push_back(StagedRowRef{out.row, geom::Box(), rec});
+    st.inserted_rows.push_back(out.row);
+    st.bytes += out.bytes;
+    ++st.rows_shipped;
+  }
+  if (st.bytes > 0) {
+    cluster->ChargeTransfer(static_cast<uint32_t>(source),
+                            static_cast<uint32_t>(target), st.bytes);
+  }
+  return st;
+}
+
+Status ParallelTable::UnstageMove(Cluster* cluster, const StagedMove& st) {
+  return DropRows(cluster, st.target, st.inserted_rows);
+}
+
+StatusOr<ParallelTable::CutoverResult> ParallelTable::CutoverMove(
+    Cluster* cluster, const StagedMove& st) {
+  CutoverResult res;
+  const bool spatial =
+      def_.partitioning == catalog::PartitioningKind::kSpatial;
+  Fragment& tgt = *fragments_[st.target];
+  for (const StagedRowRef& ref : st.target_rows) {
+    const bool want =
+        spatial ? grid_.PrimaryNode(ref.mbr) == static_cast<uint32_t>(st.target)
+                : true;
+    if ((tgt.primary[ref.row] != 0) != want) {
+      PARADISE_RETURN_IF_ERROR(
+          SetRowPrimary(cluster, st.target, ref.row, want));
+    }
+  }
+  Fragment& src = *fragments_[st.source];
+  for (const StagedRowRef& ref : st.source_rows) {
+    bool want = false;
+    bool keep = false;
+    if (spatial) {
+      want = grid_.PrimaryNode(ref.mbr) == static_cast<uint32_t>(st.source);
+      for (uint32_t t : grid_.TilesOfBox(ref.mbr)) {
+        if (grid_.NodeOfTile(t) == static_cast<uint32_t>(st.source)) {
+          keep = true;
+          break;
+        }
+      }
+    }
+    if ((src.primary[ref.row] != 0) != want) {
+      PARADISE_RETURN_IF_ERROR(
+          SetRowPrimary(cluster, st.source, ref.row, want));
+    }
+    if (!keep) res.orphaned_source_rows.push_back(ref.row);
+  }
+  return res;
+}
+
+Status ParallelTable::DropRows(Cluster* cluster, int node,
+                               const std::vector<uint64_t>& rows) {
+  if (rows.empty()) return Status::OK();
+  Fragment& frag = *fragments_[node];
+  if (frag.live.empty()) frag.live.assign(frag.oids.size(), 1);
+  sim::NodeClock* clock = cluster->node(node).clock();
+  for (uint64_t r : rows) {
+    if (!frag.live[r]) continue;
+    PARADISE_RETURN_IF_ERROR(frag.file->Delete(nullptr, frag.oids[r]));
+    frag.live[r] = 0;
+    frag.primary[r] = 0;
+    clock->ChargeCpu(sim::cpu_cost::kTupleOverhead);
+  }
+  return Status::OK();
+}
+
+StatusOr<int64_t> ParallelTable::DropOrphanedRows(
+    Cluster* cluster, int node, const std::vector<uint64_t>& rows) {
+  const bool spatial =
+      def_.partitioning == catalog::PartitioningKind::kSpatial;
+  Fragment& frag = *fragments_[node];
+  sim::NodeClock* clock = cluster->node(node).clock();
+  std::vector<uint64_t> doomed;
+  doomed.reserve(rows.size());
+  for (uint64_t r : rows) {
+    if (r >= frag.oids.size()) continue;  // fragment decommissioned since
+    if (!frag.row_live(r)) continue;
+    if (spatial) {
+      // Re-promoted to primary, or re-claimed as a replica for a tile a
+      // later move handed (back) to this node: the orphan verdict from
+      // cutover time no longer holds.
+      if (frag.primary[r] != 0) continue;
+      PARADISE_ASSIGN_OR_RETURN(ByteBuffer rec, frag.file->Get(frag.oids[r]));
+      clock->ChargeCpu(sim::cpu_cost::kTupleOverhead);
+      bool primary;
+      Tuple t = DecodeRow(rec, &primary);
+      bool keep = false;
+      for (uint32_t tl : grid_.TilesOfBox(t.at(def_.partition_column).Mbr())) {
+        if (grid_.NodeOfTile(tl) == static_cast<uint32_t>(node)) {
+          keep = true;
+          break;
+        }
+      }
+      if (keep) continue;
+    }
+    doomed.push_back(r);
+  }
+  PARADISE_RETURN_IF_ERROR(DropRows(cluster, node, doomed));
+  return static_cast<int64_t>(doomed.size());
+}
+
+Status ParallelTable::ValidateOwnership(Cluster* cluster) const {
+  const bool spatial =
+      def_.partitioning == catalog::PartitioningKind::kSpatial;
+  int64_t primaries = 0;
+  // (key, mbr) of every primary copy, for the replica-completeness pass.
+  std::vector<std::pair<std::string, geom::Box>> primary_keys;
+  // Per-alive-node live content keys.
+  std::unordered_map<int, std::unordered_set<std::string>> node_keys;
+  for (int n = 0; n < static_cast<int>(fragments_.size()); ++n) {
+    const Fragment& frag = *fragments_[n];
+    const bool node_alive = cluster->alive(n);
+    for (uint64_t r = 0; r < frag.oids.size(); ++r) {
+      if (!frag.row_live(r)) continue;
+      PARADISE_ASSIGN_OR_RETURN(ByteBuffer rec, frag.file->Get(frag.oids[r]));
+      bool flag;
+      Tuple t = DecodeRow(rec, &flag);
+      if ((frag.primary[r] != 0) != flag) {
+        return Status::Internal("ownership audit: primary flag vector out of "
+                                "sync with stored record");
+      }
+      if (!node_alive) {
+        if (flag) {
+          return Status::Internal("ownership audit: primary copy stranded on "
+                                  "a dead/removed node");
+        }
+        continue;
+      }
+      if (flag) ++primaries;
+      if (spatial) {
+        geom::Box mbr = t.at(def_.partition_column).Mbr();
+        const bool want = grid_.PrimaryNode(mbr) == static_cast<uint32_t>(n);
+        if (want != flag) {
+          return Status::Internal(
+              "ownership audit: primary flag disagrees with grid owner");
+        }
+        node_keys[n].insert(RecordKey(rec));
+        if (flag) primary_keys.emplace_back(RecordKey(rec), mbr);
+      }
+    }
+  }
+  if (primaries != def_.num_tuples) {
+    return Status::Internal("ownership audit: logical cardinality drifted "
+                            "(lost or duplicated rows)");
+  }
+  if (spatial) {
+    for (const auto& [key, mbr] : primary_keys) {
+      for (uint32_t d : grid_.NodesOfBox(mbr)) {
+        if (static_cast<size_t>(d) >= fragments_.size()) continue;
+        if (!cluster->alive(static_cast<int>(d))) continue;
+        auto it = node_keys.find(static_cast<int>(d));
+        if (it == node_keys.end() || it->second.count(key) == 0) {
+          return Status::Internal(
+              "ownership audit: replica missing at an alive tile owner");
+        }
+      }
+    }
+  }
   return Status::OK();
 }
 

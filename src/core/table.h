@@ -3,6 +3,8 @@
 
 #include <map>
 #include <memory>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "catalog/catalog.h"
@@ -27,12 +29,30 @@ class ParallelTable {
     std::unique_ptr<storage::HeapFile> file;
     std::vector<storage::Oid> oids;  // row id -> record
     std::vector<uint8_t> primary;    // row id -> primary flag
+    /// Row liveness; empty means "all rows live". Migration GC and
+    /// staging rollback physically delete records but must keep row ids
+    /// stable (indexes and oids vectors are positional), so deleted rows
+    /// are tombstoned here instead of erased.
+    std::vector<uint8_t> live;
     /// Local indexes (built at load over this fragment only).
     std::unique_ptr<index::RStarTree> rtree;  // on the spatial index column
     std::map<size_t, index::BPlusTree<std::string>> string_indexes;
     std::map<size_t, index::BPlusTree<int64_t>> int_indexes;
+    /// Lazily built content-key -> row ids map (the dedup index the
+    /// migration/salvage paths consult so a node that already holds a
+    /// replica never stores a duplicate). Maintained by every migration
+    /// mutation once built; nullptr until first needed.
+    std::unique_ptr<std::unordered_map<std::string, std::vector<uint64_t>>>
+        contents;
 
     int64_t num_rows() const { return static_cast<int64_t>(oids.size()); }
+    bool row_live(uint64_t r) const { return live.empty() || live[r] != 0; }
+    int64_t num_live() const {
+      if (live.empty()) return num_rows();
+      int64_t n = 0;
+      for (uint8_t l : live) n += l;
+      return n;
+    }
   };
 
   /// Declusters `rows` across the cluster per `def.partitioning`, writes
@@ -49,9 +69,16 @@ class ParallelTable {
       const std::vector<uint32_t>* explicit_owners = nullptr);
 
   /// Degraded-mode repair after a permanent node loss (the node must
-  /// already be dead in `cluster`): salvages the dead node's fragment off
-  /// its surviving disks and redistributes the rows over the alive nodes
-  /// so every query answer stays complete at N−1.
+  /// already be dead in `cluster`). This is now a *degenerate topology
+  /// change* — a zero-throttle migration with a dead source — delegated
+  /// to the cluster's TopologyManager (MigrateForLoss), which in turn
+  /// runs SalvageDeadNode below. Kept as the entry point the
+  /// coordinator's node-loss handler calls.
+  Status RedeclusterAfterLoss(Cluster* cluster, int dead_node);
+
+  /// The salvage half of a loss-migration: sequentially reads the dead
+  /// node's fragment off its surviving disks and redistributes the rows
+  /// over the alive nodes so every query answer stays complete at N−1.
   ///
   ///  - Round-robin / hash tables stripe the salvaged rows over the
   ///    survivors; raster attributes are deep-copied to the new owner.
@@ -60,13 +87,95 @@ class ParallelTable {
   ///    salvaged row to the new owners of its overlapped remapped tiles.
   ///    A survivor that already holds a replica keeps it (promoted to
   ///    primary when the dead node held the primary copy) instead of
-  ///    storing a duplicate.
+  ///    storing a duplicate — the same content-index dedup the planned
+  ///    migration path uses, which is what makes a crashed migration
+  ///    exactly-once: rolled-back or re-shipped copies can never double.
   ///
   /// All salvage reads, inserts, index maintenance, and transfers are
   /// charged to the virtual clocks — the honest cost of degraded mode.
-  /// Single-threaded; call between phases (the coordinator's node-loss
-  /// handler does).
-  Status RedeclusterAfterLoss(Cluster* cluster, int dead_node);
+  /// Single-threaded; call between phases.
+  Status SalvageDeadNode(Cluster* cluster, int dead_node);
+
+  // -- Online tile migration (driven by core::TopologyManager) ------------
+
+  /// One staged (shipped but not yet cut over) tile or stripe move.
+  struct StagedRowRef {
+    uint64_t row = 0;     // row id in its fragment
+    geom::Box mbr;        // partition-column MBR (spatial tables)
+    ByteBuffer record;    // stored record bytes (flag byte included)
+  };
+  struct StagedMove {
+    uint32_t tile = 0;    // spatial moves only
+    int source = -1;
+    int target = -1;
+    /// Live rows at the source that the move covers.
+    std::vector<StagedRowRef> source_rows;
+    /// All copies at the target the move relies on: newly staged inserts
+    /// plus pre-existing replicas claimed by the dedup index.
+    std::vector<StagedRowRef> target_rows;
+    /// Subset of target_rows that were newly inserted (rollback set).
+    std::vector<uint64_t> inserted_rows;
+    int64_t bytes = 0;          // shallow bytes shipped (one batch charge)
+    int64_t rows_shipped = 0;   // newly inserted copies
+    int64_t rows_deduped = 0;   // pre-existing replicas claimed instead
+    bool empty() const { return source_rows.empty() && target_rows.empty(); }
+  };
+
+  /// Grows the fragment vector to cluster->num_nodes() with empty,
+  /// registered heap files (scale-out onto added nodes).
+  Status EnsureFragments(Cluster* cluster);
+
+  /// Ships every live row at `source` overlapping grid tile `tile` to
+  /// `target` as a *non-primary* staged copy (invisible to primaries-only
+  /// scans, filtered by the reference-point rule in joins until cutover).
+  /// Copies the target already holds are claimed, not duplicated. Reads,
+  /// inserts, index maintenance and the batched transfer are all charged.
+  StatusOr<StagedMove> StageTileRows(Cluster* cluster, uint32_t tile,
+                                     int source, int target);
+
+  /// Non-spatial analog: ships stripe `stripe_index` (of `stripe_count`)
+  /// of `source`'s live rows to `target` as staged non-primary copies;
+  /// raster attributes are deep-copied.
+  StatusOr<StagedMove> StageStripeRows(Cluster* cluster, int source,
+                                       int target, size_t stripe_index,
+                                       size_t stripe_count);
+
+  /// Rolls back a staged move: physically deletes the newly inserted
+  /// copies at the target (crash mid-transfer; the tile stays owned by
+  /// its old home, exactly once).
+  Status UnstageMove(Cluster* cluster, const StagedMove& st);
+
+  /// Commits a staged move *after* the grid has been repointed at the
+  /// new owner: recomputes primary flags on both sides and returns the
+  /// source rows that no longer overlap any source-owned tile (their
+  /// physical deletion is deferred until no query pins an older epoch).
+  struct CutoverResult {
+    std::vector<uint64_t> orphaned_source_rows;
+  };
+  StatusOr<CutoverResult> CutoverMove(Cluster* cluster,
+                                      const StagedMove& st);
+
+  /// Physically deletes rows previously orphaned by a cutover (epoch GC)
+  /// or rolled back. Charged to `node`'s clock.
+  Status DropRows(Cluster* cluster, int node,
+                  const std::vector<uint64_t>& rows);
+
+  /// Deferred-GC drop with re-validation: a row queued as orphaned at
+  /// cutover time may have been re-claimed since — a later move whose
+  /// target is this node (crash retargets aim at existing replica
+  /// holders) dedups against it or even re-promotes it to primary. Drops
+  /// only rows that are still non-primary and overlap no tile this node
+  /// owns under the *current* grid; returns how many were dropped.
+  StatusOr<int64_t> DropOrphanedRows(Cluster* cluster, int node,
+                                     const std::vector<uint64_t>& rows);
+
+  /// Exactly-once ownership audit: every live row's primary flag matches
+  /// the grid, a copy exists at every alive owner of an overlapped tile,
+  /// and the logical cardinality equals the loaded row count (nothing
+  /// lost, nothing duplicated). Read charges apply.
+  Status ValidateOwnership(Cluster* cluster) const;
+
+  SpatialGrid* mutable_grid() { return &grid_; }
 
   const catalog::TableDef& def() const { return def_; }
   const SpatialGrid& grid() const { return grid_; }
@@ -100,6 +209,29 @@ class ParallelTable {
 
  private:
   ParallelTable() = default;
+
+  /// Appends one migrated/salvaged copy to `node`'s fragment: rasters
+  /// are deep-copied to the node, the record's primary byte is set to
+  /// `make_primary`, local indexes and the contents map (if built) are
+  /// maintained, and insert CPU is charged. Returns the new row id and
+  /// the shallow record bytes (what a transfer batch carries).
+  struct InsertOutcome {
+    uint64_t row = 0;
+    int64_t bytes = 0;
+  };
+  StatusOr<InsertOutcome> InsertMigratedRow(Cluster* cluster, int node,
+                                            const exec::Tuple& row,
+                                            const ByteBuffer& record,
+                                            bool make_primary);
+
+  /// Builds fragment `node`'s content-key index if absent (one charged
+  /// fragment read, like the old per-salvage survivor content map — but
+  /// persistent and incrementally maintained afterwards).
+  Status EnsureContents(Cluster* cluster, int node);
+
+  /// Flips the primary byte of row `row`'s stored record in place, syncs
+  /// the flag vector, and charges the flip.
+  Status SetRowPrimary(Cluster* cluster, int node, uint64_t row, bool primary);
 
   catalog::TableDef def_;
   SpatialGrid grid_;  // valid iff def_.partitioning == kSpatial

@@ -47,6 +47,13 @@ struct CrashEvent {
   bool permanent = false;  // false: recover via WAL; true: mark dead
 };
 
+/// A crash fired mid-tile-migration by the TopologyManager: either side
+/// of the transfer dies after the tile's runs landed but before cutover.
+struct MigrationCrashEvent {
+  bool target_side = false;  // false: the migration source crashes
+  bool permanent = false;    // false: recover via WAL; true: mark dead
+};
+
 /// Seeded, deterministic fault source for the simulated cluster.
 ///
 /// Determinism contract: probabilistic decisions are pure hashes of
@@ -88,6 +95,20 @@ class FaultInjector {
   void ScheduleCrash(int barrier, uint32_t node, bool permanent) {
     scheduled_crashes_.emplace(barrier, CrashEvent{node, permanent});
   }
+
+  /// Schedules a crash during the `ordinal`-th executed tile/stripe
+  /// migration (0-based, global across streams — the TopologyManager
+  /// maintains the counter single-threaded under migration pumping).
+  void ScheduleMigrationCrash(int64_t ordinal, bool target_side,
+                              bool permanent) {
+    scheduled_migration_[ordinal] =
+        MigrationCrashEvent{target_side, permanent};
+  }
+
+  /// Probabilistic chaos mode: each executed migration move crashes with
+  /// probability `p` (side and permanence drawn from independent hash
+  /// bits of the move ordinal). Used by the nightly churn/chaos harness.
+  void set_migration_crash_rate(double p) { migration_crash_rate_ = p; }
 
   // -- Hooks (called by the wired components) -----------------------------
 
@@ -135,6 +156,27 @@ class FaultInjector {
     return f;
   }
 
+  /// Consumes a crash scheduled (or chaos-drawn) for the `ordinal`-th
+  /// migration move. Called single-threaded by the TopologyManager.
+  std::optional<MigrationCrashEvent> TakeMigrationCrash(int64_t ordinal) {
+    auto it = scheduled_migration_.find(ordinal);
+    if (it != scheduled_migration_.end()) {
+      MigrationCrashEvent ev = it->second;
+      scheduled_migration_.erase(it);
+      migration_crashes_.fetch_add(1, std::memory_order_relaxed);
+      return ev;
+    }
+    if (migration_crash_rate_ > 0.0 &&
+        UnitUniform(0x6d69'6772, 0, 0, 0, ordinal) < migration_crash_rate_) {
+      MigrationCrashEvent ev;
+      ev.target_side = UnitUniform(0x6d69'6772, 1, 0, 0, ordinal) < 0.5;
+      ev.permanent = UnitUniform(0x6d69'6772, 2, 0, 0, ordinal) < 0.5;
+      migration_crashes_.fetch_add(1, std::memory_order_relaxed);
+      return ev;
+    }
+    return std::nullopt;
+  }
+
   /// Consumes (at most one per call) a crash scheduled for `barrier`.
   /// Called single-threaded by the coordinator at phase barriers.
   std::optional<CrashEvent> TakeCrashAtBarrier(int barrier) {
@@ -154,6 +196,7 @@ class FaultInjector {
     int64_t dropped_batches = 0;
     int64_t duplicated_batches = 0;
     int64_t crashes = 0;
+    int64_t migration_crashes = 0;
   };
   Stats stats() const {
     Stats s;
@@ -163,6 +206,8 @@ class FaultInjector {
     s.dropped_batches = dropped_batches_.load(std::memory_order_relaxed);
     s.duplicated_batches = duplicated_batches_.load(std::memory_order_relaxed);
     s.crashes = crashes_.load(std::memory_order_relaxed);
+    s.migration_crashes =
+        migration_crashes_.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -206,16 +251,19 @@ class FaultInjector {
   double torn_read_rate_ = 0.0;
   double transfer_drop_rate_ = 0.0;
   double transfer_duplicate_rate_ = 0.0;
+  double migration_crash_rate_ = 0.0;
   double drop_timeout_seconds_ = 0.02;
 
   std::map<DiskKey, DiskFaultKind> scheduled_disk_;
   std::multimap<int, CrashEvent> scheduled_crashes_;
+  std::map<int64_t, MigrationCrashEvent> scheduled_migration_;
 
   std::atomic<int64_t> transient_read_faults_{0};
   std::atomic<int64_t> torn_read_faults_{0};
   std::atomic<int64_t> dropped_batches_{0};
   std::atomic<int64_t> duplicated_batches_{0};
   std::atomic<int64_t> crashes_{0};
+  std::atomic<int64_t> migration_crashes_{0};
 };
 
 }  // namespace paradise::sim
