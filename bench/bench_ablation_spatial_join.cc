@@ -221,6 +221,72 @@ int main(int argc, char** argv) {
         "thread counts; only wall clock moves.\n");
   }
 
+  // -- Sweep kernel: SoA vs AoS -------------------------------------------
+  // The same join with the struct-of-arrays kernel (default) and the
+  // array-of-structs control (PbsmOptions::SweepKernel::kAos). Both must
+  // produce bit-identical results, modeled seconds, and sweep counters —
+  // the ablation isolates the memory layout's wall-clock effect. Best of 3
+  // runs per kernel: the kernels differ by fractions of a millisecond per
+  // join, which single cold runs on a loaded host would bury in noise.
+  {
+    Rng rng4(17);
+    TupleVec sj_left = MakeLines(&rng4, 30000, 100);
+    TupleVec sj_right = MakeLines(&rng4, 30000, 100);
+    const size_t right_id_col = 2;
+    std::printf(
+        "\n== Sweep kernel: SoA vs AoS (30k x 30k polylines, partitions=64, "
+        "1 thread, best of 3) ==\n\n");
+    std::printf("%8s %12s %12s %10s %14s %14s\n", "kernel", "wall (s)",
+                "modeled (s)", "rows", "sweep pairs", "exact tests");
+    double soa_wall = 0.0, soa_modeled = 0.0;
+    uint64_t soa_digest = 0;
+    for (auto kernel : {PbsmOptions::SweepKernel::kSoa,
+                        PbsmOptions::SweepKernel::kAos}) {
+      PbsmOptions popts;
+      popts.num_partitions = 64;
+      popts.sweep_kernel = kernel;
+      double wall = 1e300, modeled = 0.0;
+      uint64_t digest = 0;
+      size_t rows = 0;
+      PbsmJoinStats stats;
+      for (int rep = 0; rep < 3; ++rep) {
+        paradise::sim::NodeClock clock;
+        ExecContext ctx;
+        ctx.clock = &clock;
+        ctx.pbsm_stats = &stats;
+        auto t0 = std::chrono::steady_clock::now();
+        auto r = paradise::exec::PbsmSpatialJoin(sj_left, 1, sj_right, 1, ctx,
+                                                 popts);
+        auto t1 = std::chrono::steady_clock::now();
+        if (!r.ok()) {
+          std::fprintf(stderr, "kernel ablation pbsm failed\n");
+          return 1;
+        }
+        wall = std::min(wall, std::chrono::duration<double>(t1 - t0).count());
+        modeled = ModeledSeconds(model, &clock);
+        digest = ResultDigest(*r, right_id_col);
+        rows = r->size();
+      }
+      const bool soa = kernel == PbsmOptions::SweepKernel::kSoa;
+      if (soa) {
+        soa_wall = wall;
+        soa_modeled = modeled;
+        soa_digest = digest;
+      } else if (modeled != soa_modeled || digest != soa_digest) {
+        std::fprintf(stderr, "kernel ablation determinism violation\n");
+        return 1;
+      }
+      std::printf("%8s %12.4f %12.4f %10zu %14lld %14lld\n",
+                  soa ? "soa" : "aos", wall, modeled, rows,
+                  static_cast<long long>(stats.sweep_pair_compares),
+                  static_cast<long long>(stats.exact_tests));
+      if (!soa) {
+        std::printf("\nsoa speedup over aos: %.2fx (identical results, "
+                    "charges, and counters)\n", wall / soa_wall);
+      }
+    }
+  }
+
   // -- Cell→partition map skew --------------------------------------------
   // Clustered inputs: `cell % P` piles whole grid columns (and with them
   // every hotspot that shares them) into few partitions; the block-hash

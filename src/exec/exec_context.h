@@ -31,6 +31,14 @@ struct PbsmJoinStats {
   double mean_partition_items = 0.0;
   int64_t parallel_tasks = 0;     // partition sweeps run as pool tasks
 
+  // Sweep-kernel counters (summed over partitions, in partition order):
+  // pair compares the sweeps performed, MBR-overlapping candidates they
+  // emitted, and candidates that survived reference-point dedup into the
+  // exact-geometry pass. Identical for the SoA and AoS kernels.
+  int64_t sweep_pair_compares = 0;
+  int64_t sweep_candidates = 0;
+  int64_t exact_tests = 0;
+
   /// Replication factor: partition entries per input tuple (1.0 = none).
   double replication() const {
     int64_t tuples = left_tuples + right_tuples;
@@ -71,6 +79,18 @@ struct ExecContext {
 
   void ChargeCpu(double ops) const {
     if (clock != nullptr) clock->ChargeCpu(ops);
+  }
+
+  /// Batched replay of `count` identical per-item charges as one clock op.
+  /// Every per-item cpu_cost constant is integer-valued, so the doubles
+  /// sum exactly (well below 2^53): `count * per_op` is bit-identical to
+  /// `count` sequential ChargeCpu(per_op) calls in any interleaving —
+  /// which is what lets the join kernel hoist charges out of hot loops
+  /// without perturbing modeled time.
+  void ChargeCpuOps(int64_t count, double per_op) const {
+    if (clock != nullptr && count > 0) {
+      clock->ChargeCpu(static_cast<double>(count) * per_op);
+    }
   }
 
   void ChargeUsage(const sim::ResourceUsage& usage) const {

@@ -15,16 +15,6 @@ using geom::Box;
 using geom::Circle;
 using geom::Point;
 
-size_t SegmentCount(const Value& v) {
-  switch (v.type()) {
-    case ValueType::kPolygon: return v.AsPolygon()->num_points();
-    case ValueType::kPolyline: return v.AsPolyline()->num_segments();
-    case ValueType::kSwissCheese:
-      return v.AsSwissCheese()->outer().num_points();
-    default: return 1;
-  }
-}
-
 class ColumnExpr : public Expr {
  public:
   explicit ColumnExpr(size_t index) : index_(index) {}
@@ -154,7 +144,7 @@ class AreaExpr : public Expr {
   explicit AreaExpr(ExprPtr shape) : shape_(std::move(shape)) {}
   StatusOr<Value> Eval(const Tuple& t, const ExecContext& ctx) const override {
     PARADISE_ASSIGN_OR_RETURN(Value vs, shape_->Eval(t, ctx));
-    ctx.ChargeCpu(sim::cpu_cost::kCompare * SegmentCount(vs));
+    ctx.ChargeCpu(sim::cpu_cost::kCompare * SpatialSegmentCount(vs));
     switch (vs.type()) {
       case ValueType::kPolygon: return Value(vs.AsPolygon()->Area());
       case ValueType::kSwissCheese: return Value(vs.AsSwissCheese()->Area());
@@ -320,16 +310,36 @@ ExprPtr RasterLowerResOf(ExprPtr raster, uint32_t factor) {
   return std::make_shared<RasterLowerResExpr>(std::move(raster), factor);
 }
 
+size_t SpatialSegmentCount(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kPolygon: return v.AsPolygon()->num_points();
+    case ValueType::kPolyline: return v.AsPolyline()->num_segments();
+    case ValueType::kSwissCheese:
+      return v.AsSwissCheese()->outer().num_points();
+    default: return 1;
+  }
+}
+
 StatusOr<bool> SpatialIntersects(const Value& a, const Value& b,
                                  const ExecContext& ctx) {
   ctx.ChargeCpu(sim::cpu_cost::kPerSegmentTest *
-                static_cast<double>(SegmentCount(a) + SegmentCount(b)));
+                static_cast<double>(SpatialSegmentCount(a) +
+                                    SpatialSegmentCount(b)));
   // MBR prune first (as the exact-test phase of the join algorithms does).
   if (!a.Mbr().Intersects(b.Mbr())) return false;
+  return SpatialIntersectsExact(a, b, ctx);
+}
 
+StatusOr<bool> SpatialIntersectsExact(const Value& a, const Value& b,
+                                      const ExecContext& ctx) {
   auto type_pair = [&](ValueType x, ValueType y) {
     return a.type() == x && b.type() == y;
   };
+  // Polyline-polyline first: it is the hot pair of the spatial-join
+  // exact phase (road x hydro workloads).
+  if (type_pair(ValueType::kPolyline, ValueType::kPolyline)) {
+    return a.AsPolyline()->Intersects(*b.AsPolyline());
+  }
   // Symmetric dispatch: normalize so the "bigger" type is first.
   if (type_pair(ValueType::kPolygon, ValueType::kPolygon)) {
     return a.AsPolygon()->Intersects(*b.AsPolygon());
@@ -339,9 +349,6 @@ StatusOr<bool> SpatialIntersects(const Value& a, const Value& b,
   }
   if (type_pair(ValueType::kPolyline, ValueType::kPolygon)) {
     return b.AsPolygon()->Intersects(*a.AsPolyline());
-  }
-  if (type_pair(ValueType::kPolyline, ValueType::kPolyline)) {
-    return a.AsPolyline()->Intersects(*b.AsPolyline());
   }
   if (type_pair(ValueType::kPolygon, ValueType::kPoint)) {
     return a.AsPolygon()->Contains(b.AsPoint());
@@ -404,7 +411,7 @@ StatusOr<double> SpatialDistance(const Value& point, const Value& shape,
   }
   const Point& p = point.AsPoint();
   ctx.ChargeCpu(sim::cpu_cost::kPerPointDistance *
-                static_cast<double>(SegmentCount(shape)));
+                static_cast<double>(SpatialSegmentCount(shape)));
   switch (shape.type()) {
     case ValueType::kPoint: return geom::Distance(p, shape.AsPoint());
     case ValueType::kBox: return shape.AsBox().DistanceTo(p);

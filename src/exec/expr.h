@@ -65,10 +65,23 @@ ExprPtr RasterLowerResOf(ExprPtr raster, uint32_t factor);
 
 // ---- Shared helpers (used by spatial join exact tests too) ----
 
+/// Segment count of a spatial value — the unit the cost model charges
+/// spatial predicates by (kPerSegmentTest / kPerPointDistance per segment).
+size_t SpatialSegmentCount(const Value& v);
+
 /// Exact intersection test between two spatial values, charging CPU to
 /// `ctx` proportional to the segment work.
 StatusOr<bool> SpatialIntersects(const Value& a, const Value& b,
                                  const ExecContext& ctx);
+
+/// The exact-geometry dispatch of SpatialIntersects with no up-front
+/// charge and no MBR prune. Precondition: the caller has already charged
+/// `kPerSegmentTest * (SpatialSegmentCount(a) + SpatialSegmentCount(b))`
+/// and knows the MBRs intersect (a join sweep's candidates, say). Nested
+/// normalization (box/circle argument swaps) recurses through the charging
+/// SpatialIntersects, exactly as the one-call path always has.
+StatusOr<bool> SpatialIntersectsExact(const Value& a, const Value& b,
+                                      const ExecContext& ctx);
 
 /// Min distance between a point value and a spatial value.
 StatusOr<double> SpatialDistance(const Value& point, const Value& shape,

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "exec/join_kernel.h"
 #include "sim/cost_model.h"
 #include "storage/page.h"
 
@@ -15,11 +16,6 @@ namespace {
 using geom::Box;
 using geom::Circle;
 using geom::Point;
-
-struct Item {
-  Box box;
-  uint32_t row;
-};
 
 /// SplitMix64 finalizer: decorrelates block coordinates so neighbouring
 /// blocks start their round-robin at unrelated partitions.
@@ -75,50 +71,75 @@ ExecContext TaskContext(const ExecContext& ctx, sim::NodeClock* task_clock) {
   return task;
 }
 
-/// Maps a point to its grid cell (clamped to the grid).
+/// Maps a point to its grid cell (clamped to the grid). The extent→cell
+/// scale is precomputed once, so mapping a coordinate is one multiply
+/// instead of a divide; CellOf and CellRange use the same scale, so the
+/// reference-point rule ("the cell containing the intersection's lower-left
+/// corner is within the overlap cell range of both MBRs") keeps holding.
+/// Clamping happens in double before the integer cast, so out-of-universe
+/// and ±inf (empty-box) coordinates clamp instead of invoking UB; an empty
+/// box yields an inverted (hi < lo) cell range, i.e. no cells.
 struct Grid {
-  Box universe;
+  double xmin;
+  double ymin;
+  double x_scale;  // cells per unit of width
+  double y_scale;  // cells per unit of height
   size_t cells_x;
   size_t cells_y;
 
-  size_t CellOf(double x, double y) const {
-    double fx = (x - universe.xmin) / universe.Width();
-    double fy = (y - universe.ymin) / universe.Height();
-    size_t cx = std::min(cells_x - 1,
-                         static_cast<size_t>(std::max(0.0, fx * cells_x)));
-    size_t cy = std::min(cells_y - 1,
-                         static_cast<size_t>(std::max(0.0, fy * cells_y)));
-    return cy * cells_x + cx;
+  Grid(const Box& universe, size_t cx, size_t cy)
+      : xmin(universe.xmin),
+        ymin(universe.ymin),
+        x_scale(static_cast<double>(cx) / universe.Width()),
+        y_scale(static_cast<double>(cy) / universe.Height()),
+        cells_x(cx),
+        cells_y(cy) {}
+
+  size_t CellX(double x) const {
+    double f = std::max(0.0, (x - xmin) * x_scale);
+    return static_cast<size_t>(std::min(f, static_cast<double>(cells_x - 1)));
+  }
+  size_t CellY(double y) const {
+    double f = std::max(0.0, (y - ymin) * y_scale);
+    return static_cast<size_t>(std::min(f, static_cast<double>(cells_y - 1)));
   }
 
-  /// Cell index range [cx0,cx1]x[cy0,cy1] overlapped by a box.
-  void CellRange(const Box& b, size_t* cx0, size_t* cy0, size_t* cx1,
-                 size_t* cy1) const {
-    *cx0 = std::min(cells_x - 1,
-                    static_cast<size_t>(std::max(
-                        0.0, (b.xmin - universe.xmin) / universe.Width() *
-                                 cells_x)));
-    *cy0 = std::min(cells_y - 1,
-                    static_cast<size_t>(std::max(
-                        0.0, (b.ymin - universe.ymin) / universe.Height() *
-                                 cells_y)));
-    *cx1 = std::min(cells_x - 1,
-                    static_cast<size_t>(std::max(
-                        0.0, (b.xmax - universe.xmin) / universe.Width() *
-                                 cells_x)));
-    *cy1 = std::min(cells_y - 1,
-                    static_cast<size_t>(std::max(
-                        0.0, (b.ymax - universe.ymin) / universe.Height() *
-                                 cells_y)));
+  size_t CellOf(double x, double y) const {
+    return CellY(y) * cells_x + CellX(x);
+  }
+
+  /// Cell index range [cx0,cx1]x[cy0,cy1] overlapped by an MBR.
+  void CellRange(double bxlo, double bylo, double bxhi, double byhi,
+                 size_t* cx0, size_t* cy0, size_t* cx1, size_t* cy1) const {
+    *cx0 = CellX(bxlo);
+    *cy0 = CellY(bylo);
+    *cx1 = CellX(bxhi);
+    *cy1 = CellY(byhi);
   }
 };
 
-Tuple ConcatTuples(const Tuple& l, const Tuple& r) {
-  Tuple joined;
-  joined.values = l.values;
-  joined.values.insert(joined.values.end(), r.values.begin(), r.values.end());
-  return joined;
-}
+/// One side's partition assignment in CSR form: `rows` holds tuple
+/// ordinals grouped by partition (replicas included), `offsets[p] ..
+/// offsets[p+1]` delimits partition p. Built by a stable counting sort
+/// over a side argsorted by (xlo, ordinal), so each partition's rows are
+/// already in sweep order.
+struct SideParts {
+  std::vector<uint32_t> rows;
+  std::vector<size_t> offsets;
+
+  size_t begin(size_t p) const { return offsets[p]; }
+  size_t count(size_t p) const { return offsets[p + 1] - offsets[p]; }
+};
+
+/// Per-thread sweep buffers, reused across the partitions a worker runs:
+/// every field is fully rewritten before use, so reuse affects only
+/// allocation traffic, never results or charges.
+struct SweepScratch {
+  join_kernel::SweepSide ls, rs;
+  std::vector<join_kernel::AosItem> l_items, r_items;
+  std::vector<join_kernel::OrdinalPair> survivors;
+};
+thread_local SweepScratch t_sweep_scratch;
 
 }  // namespace
 
@@ -135,10 +156,28 @@ StatusOr<TupleVec> PbsmSpatialJoin(const TupleVec& left, size_t left_col,
   TupleVec out;
   if (left.empty() || right.empty()) return out;
 
-  // Universe = union of both inputs' extents.
+  // Universe = union of both inputs' extents. The same pass gathers every
+  // tuple's MBR into column-major buffers (exec/join_kernel.h), so
+  // `Tuple::at(col).Mbr()` runs once per tuple here and never again inside
+  // the hot phases.
+  join_kernel::MbrColumns left_cols, right_cols;
   Box universe;
-  for (const Tuple& t : left) universe.ExpandToInclude(t.at(left_col).Mbr());
-  for (const Tuple& t : right) universe.ExpandToInclude(t.at(right_col).Mbr());
+  auto gather_mbrs = [&universe](const TupleVec& tuples, size_t col,
+                                 join_kernel::MbrColumns* cols) {
+    const size_t n = tuples.size();
+    cols->Resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      // The tuple array is walked in order but each tuple's values live
+      // behind a heap pointer the hardware prefetcher can't follow; stage
+      // the next few rows' value arrays in ahead of the Mbr() call.
+      if (i + 8 < n) __builtin_prefetch(tuples[i + 8].values.data());
+      Box b = tuples[i].at(col).Mbr();
+      cols->Set(i, b);
+      universe.ExpandToInclude(b);
+    }
+  };
+  gather_mbrs(left, left_col, &left_cols);
+  gather_mbrs(right, right_col, &right_cols);
   if (universe.Width() <= 0 || universe.Height() <= 0) {
     universe = universe.Inflate(1.0);
   }
@@ -149,41 +188,97 @@ StatusOr<TupleVec> PbsmSpatialJoin(const TupleVec& left, size_t left_col,
     cells_axis = std::max<size_t>(
         1, static_cast<size_t>(std::ceil(std::sqrt(16.0 * P))));
   }
-  Grid grid{universe, cells_axis, cells_axis};
-  auto partition_of_cell = [cells_axis, P, map = options.cell_map](size_t c) {
+  Grid grid(universe, cells_axis, cells_axis);
+  // Small grids get the cell->partition map precomputed: the distribute
+  // loop and the reference-point filter call it per cell visit, and a
+  // table lookup beats re-running the block hash every time. Same pure
+  // function either way.
+  std::vector<uint32_t> cell_part;
+  if (cells_axis * cells_axis <= (1u << 16)) {
+    cell_part.resize(cells_axis * cells_axis);
+    for (size_t c = 0; c < cell_part.size(); ++c) {
+      cell_part[c] =
+          static_cast<uint32_t>(PartitionOfCell(c, cells_axis, P,
+                                                options.cell_map));
+    }
+  }
+  auto partition_of_cell = [&cell_part, cells_axis, P,
+                            map = options.cell_map](size_t c) -> size_t {
+    if (!cell_part.empty()) return cell_part[c];
     return PartitionOfCell(c, cells_axis, P, map);
   };
 
-  // Phase 1: replicate each tuple's (MBR, row) into every partition whose
-  // cells its MBR overlaps. Runs on the calling thread, charging the node
-  // clock directly — one fixed charge order at any thread count. The
-  // duplicate guard is an epoch-stamped array: bumping the epoch retires
-  // every stamp at once, instead of an O(P) refill per tuple.
-  auto distribute = [&](const TupleVec& tuples, size_t col,
-                        std::vector<std::vector<Item>>* parts) {
-    parts->assign(P, {});
+  // Each side's ordinals argsorted by (xlo, ordinal), once, globally. The
+  // distribute below walks rows in this order and its counting sort is
+  // stable, so every partition's row list comes out already in sweep
+  // order — the per-partition sorts the sweep would otherwise run are
+  // replaced by two sorts of the whole side. The modeled sort charge is
+  // unchanged: it is computed per partition from the partition sizes, not
+  // from how the host happens to sort.
+  const std::vector<uint32_t> left_order =
+      join_kernel::ArgsortByXlo(left_cols);
+  const std::vector<uint32_t> right_order =
+      join_kernel::ArgsortByXlo(right_cols);
+
+  // Phase 1: replicate each tuple's ordinal into every partition whose
+  // cells its MBR overlaps, in CSR form (counting sort — no per-partition
+  // vector growth). Runs on the calling thread; the per-tuple overhead is
+  // replayed as one batched charge, identical to the per-tuple sequence
+  // because kTupleOverhead is integer-valued. The duplicate guard is an
+  // epoch-stamped array: bumping the epoch retires every stamp at once,
+  // instead of an O(P) refill per tuple — and only runs for the rare MBR
+  // spanning more than one cell; a single-cell MBR maps to exactly one
+  // partition.
+  auto distribute = [&](const join_kernel::MbrColumns& cols,
+                        const std::vector<uint32_t>& order,
+                        SideParts* parts) {
+    const size_t n = cols.size();
+    ctx.ChargeCpuOps(static_cast<int64_t>(n), sim::cpu_cost::kTupleOverhead);
+    std::vector<uint32_t> entry_part, entry_row;
+    entry_part.reserve(n + n / 4);
+    entry_row.reserve(n + n / 4);
+    std::vector<size_t> counts(P, 0);
     std::vector<uint32_t> seen_epoch(P, 0);
     uint32_t epoch = 0;
-    for (uint32_t i = 0; i < tuples.size(); ++i) {
-      ctx.ChargeCpu(sim::cpu_cost::kTupleOverhead);
-      Box b = tuples[i].at(col).Mbr();
+    for (size_t r = 0; r < n; ++r) {
+      const uint32_t i = order[r];
       size_t cx0, cy0, cx1, cy1;
-      grid.CellRange(b, &cx0, &cy0, &cx1, &cy1);
+      grid.CellRange(cols.xlo[i], cols.ylo[i], cols.xhi[i], cols.yhi[i],
+                     &cx0, &cy0, &cx1, &cy1);
+      if (cx0 == cx1 && cy0 == cy1) {
+        size_t p = partition_of_cell(cy0 * cells_axis + cx0);
+        entry_part.push_back(static_cast<uint32_t>(p));
+        entry_row.push_back(i);
+        ++counts[p];
+        continue;
+      }
       ++epoch;
       for (size_t cy = cy0; cy <= cy1; ++cy) {
         for (size_t cx = cx0; cx <= cx1; ++cx) {
           size_t p = partition_of_cell(cy * cells_axis + cx);
           if (seen_epoch[p] != epoch) {
             seen_epoch[p] = epoch;
-            (*parts)[p].push_back(Item{b, i});
+            entry_part.push_back(static_cast<uint32_t>(p));
+            entry_row.push_back(i);
+            ++counts[p];
           }
         }
       }
     }
+    parts->offsets.assign(P + 1, 0);
+    for (size_t p = 0; p < P; ++p) {
+      parts->offsets[p + 1] = parts->offsets[p] + counts[p];
+    }
+    parts->rows.resize(entry_row.size());
+    std::vector<size_t> cursor(parts->offsets.begin(),
+                               parts->offsets.end() - 1);
+    for (size_t e = 0; e < entry_row.size(); ++e) {
+      parts->rows[cursor[entry_part[e]]++] = entry_row[e];
+    }
   };
-  std::vector<std::vector<Item>> left_parts, right_parts;
-  distribute(left, left_col, &left_parts);
-  distribute(right, right_col, &right_parts);
+  SideParts left_parts, right_parts;
+  distribute(left_cols, left_order, &left_parts);
+  distribute(right_cols, right_order, &right_parts);
 
   if (ctx.pbsm_stats != nullptr) {
     PbsmJoinStats& st = *ctx.pbsm_stats;
@@ -196,8 +291,8 @@ StatusOr<TupleVec> PbsmSpatialJoin(const TupleVec& left, size_t left_col,
     st.parallel_tasks = 0;
     size_t nonempty = 0;
     for (size_t p = 0; p < P; ++p) {
-      int64_t l = static_cast<int64_t>(left_parts[p].size());
-      int64_t r = static_cast<int64_t>(right_parts[p].size());
+      int64_t l = static_cast<int64_t>(left_parts.count(p));
+      int64_t r = static_cast<int64_t>(right_parts.count(p));
       st.left_items += l;
       st.right_items += r;
       st.max_partition_items = std::max(st.max_partition_items, l + r);
@@ -210,77 +305,115 @@ StatusOr<TupleVec> PbsmSpatialJoin(const TupleVec& left, size_t left_col,
     }
   }
 
-  // Phase 2: per partition, plane sweep on xmin for candidate pairs.
-  // Partition-to-threads: every partition is one task with its own clock
-  // and output vector, merged in partition order after the barrier — so
-  // the charge totals and the result order depend only on the partition
-  // decomposition, never on which thread ran which partition when.
+  // Phase 2: per partition, forward plane sweep on xmin for candidate
+  // pairs — through the SoA kernel by default, the AoS layout for
+  // ablation. Partition-to-threads: every partition is one task with its
+  // own clock and output vector, merged in partition order after the
+  // barrier — so the charge totals and the result order depend only on
+  // the partition decomposition, never on which thread ran which
+  // partition when. Within a task the charge sequence is: sort, then the
+  // exact-test charges batch by batch as candidates flush, then the
+  // sweep's pair compares as one batched charge — a fixed sequence whose
+  // total equals the old interleaved per-encounter charging (all
+  // per-item constants are integer-valued).
   struct PartitionTask {
     Status status = Status::OK();
     TupleVec out;
     sim::ResourceUsage usage;
+    int64_t compares = 0;
+    int64_t candidates = 0;
+    int64_t exact_tests = 0;
   };
   std::vector<PartitionTask> tasks(P);
+  const bool use_soa =
+      options.sweep_kernel == PbsmOptions::SweepKernel::kSoa;
   auto sweep_partition = [&](size_t p) {
     PartitionTask& task = tasks[p];
-    std::vector<Item>& L = left_parts[p];
-    std::vector<Item>& R = right_parts[p];
-    if (L.empty() || R.empty()) return;
+    const size_t ln = left_parts.count(p);
+    const size_t rn = right_parts.count(p);
+    if (ln == 0 || rn == 0) return;
     sim::NodeClock task_clock;
     ExecContext task_ctx = TaskContext(ctx, &task_clock);
+    const double sort_charge =
+        (static_cast<double>(ln) * std::log2(static_cast<double>(ln) + 1) +
+         static_cast<double>(rn) * std::log2(static_cast<double>(rn) + 1)) *
+        sim::cpu_cost::kCompare;
 
-    auto by_xmin = [](const Item& a, const Item& b) {
-      return a.box.xmin < b.box.xmin;
-    };
-    std::sort(L.begin(), L.end(), by_xmin);
-    std::sort(R.begin(), R.end(), by_xmin);
-    double nl = static_cast<double>(L.size());
-    double nr = static_cast<double>(R.size());
-    task_ctx.ChargeCpu((nl * std::log2(nl + 1) + nr * std::log2(nr + 1)) *
-                       sim::cpu_cost::kCompare);
-
-    auto sweep_pair = [&](const Item& a, const Item& b,
-                          bool a_is_left) -> Status {
-      task_ctx.ChargeCpu(sim::cpu_cost::kCompare);
-      if (!a.box.Intersects(b.box)) return Status::OK();
-      const Item& li = a_is_left ? a : b;
-      const Item& ri = a_is_left ? b : a;
-      // Reference-point duplicate elimination: only the partition owning
-      // the cell that contains the intersection's lower-left corner
-      // reports the pair.
-      double rx = std::max(li.box.xmin, ri.box.xmin);
-      double ry = std::max(li.box.ymin, ri.box.ymin);
-      if (partition_of_cell(grid.CellOf(rx, ry)) != p) return Status::OK();
-      const Tuple& lt = left[li.row];
-      const Tuple& rt = right[ri.row];
-      PARADISE_ASSIGN_OR_RETURN(
-          bool hit,
-          SpatialIntersects(lt.at(left_col), rt.at(right_col), task_ctx));
-      if (hit) task.out.push_back(ConcatTuples(lt, rt));
-      return Status::OK();
-    };
-
-    // Forward plane sweep over both sorted lists.
-    auto sweep = [&]() -> Status {
-      size_t i = 0, j = 0;
-      while (i < L.size() && j < R.size()) {
-        if (L[i].box.xmin <= R[j].box.xmin) {
-          for (size_t k = j; k < R.size() && R[k].box.xmin <= L[i].box.xmax;
-               ++k) {
-            PARADISE_RETURN_IF_ERROR(sweep_pair(L[i], R[k], true));
-          }
-          ++i;
-        } else {
-          for (size_t k = i; k < L.size() && L[k].box.xmin <= R[j].box.xmax;
-               ++k) {
-            PARADISE_RETURN_IF_ERROR(sweep_pair(R[j], L[k], false));
-          }
-          ++j;
+    // Shared flush: reference-point duplicate elimination over a batch of
+    // MBR-overlapping candidates, then the batched exact-geometry pass.
+    // The accessors map a sweep position to that side's MBR lower-left
+    // corner and source ordinal, so both kernels share one code path.
+    SweepScratch& scratch = t_sweep_scratch;
+    std::vector<join_kernel::OrdinalPair>& survivors = scratch.survivors;
+    auto make_flush = [&](auto lxlo_at, auto lylo_at, auto lord_at,
+                          auto rxlo_at, auto rylo_at, auto rord_at) {
+      return [&, lxlo_at, lylo_at, lord_at, rxlo_at, rylo_at,
+              rord_at](const join_kernel::Candidate* cands, size_t n) {
+        task.candidates += static_cast<int64_t>(n);
+        survivors.clear();
+        for (size_t t = 0; t < n; ++t) {
+          const uint32_t lp = cands[t].left_pos;
+          const uint32_t rp = cands[t].right_pos;
+          // Only the partition owning the cell that contains the
+          // intersection's lower-left corner reports the pair.
+          double rx = std::max(lxlo_at(lp), rxlo_at(rp));
+          double ry = std::max(lylo_at(lp), rylo_at(rp));
+          if (partition_of_cell(grid.CellOf(rx, ry)) != p) continue;
+          survivors.push_back({lord_at(lp), rord_at(rp)});
         }
-      }
-      return Status::OK();
+        task.exact_tests += static_cast<int64_t>(survivors.size());
+        if (!task.status.ok() || survivors.empty()) return;
+        task.status = join_kernel::ExactJoinBatch(
+            left, left_col, right, right_col, survivors.data(),
+            survivors.size(), task_ctx, &task.out);
+      };
     };
-    task.status = sweep();
+
+    if (use_soa) {
+      join_kernel::SweepSide& ls = scratch.ls;
+      join_kernel::SweepSide& rs = scratch.rs;
+      ls.GatherPresorted(left_cols, &left_parts.rows[left_parts.begin(p)],
+                         ln);
+      rs.GatherPresorted(right_cols, &right_parts.rows[right_parts.begin(p)],
+                         rn);
+      task_ctx.ChargeCpu(sort_charge);
+      join_kernel::CandidateBatch batch(
+          join_kernel::kCandidateBatchSize,
+          make_flush([&](uint32_t i) { return ls.xlo()[i]; },
+                     [&](uint32_t i) { return ls.ylo()[i]; },
+                     [&](uint32_t i) { return ls.ordinal(i); },
+                     [&](uint32_t i) { return rs.xlo()[i]; },
+                     [&](uint32_t i) { return rs.ylo()[i]; },
+                     [&](uint32_t i) { return rs.ordinal(i); }));
+      task.compares = join_kernel::SweepForCandidates(ls, rs, &batch);
+      batch.Flush();
+    } else {
+      auto gather_aos = [](const join_kernel::MbrColumns& cols,
+                           const uint32_t* rows, size_t n,
+                           std::vector<join_kernel::AosItem>* items) {
+        items->resize(n);
+        for (size_t i = 0; i < n; ++i) {
+          (*items)[i] = {cols.BoxAt(rows[i]), rows[i]};
+        }
+        join_kernel::SortAosByXmin(items);
+      };
+      std::vector<join_kernel::AosItem>& L = scratch.l_items;
+      std::vector<join_kernel::AosItem>& R = scratch.r_items;
+      gather_aos(left_cols, &left_parts.rows[left_parts.begin(p)], ln, &L);
+      gather_aos(right_cols, &right_parts.rows[right_parts.begin(p)], rn, &R);
+      task_ctx.ChargeCpu(sort_charge);
+      join_kernel::CandidateBatch batch(
+          join_kernel::kCandidateBatchSize,
+          make_flush([&](uint32_t i) { return L[i].box.xmin; },
+                     [&](uint32_t i) { return L[i].box.ymin; },
+                     [&](uint32_t i) { return L[i].ordinal; },
+                     [&](uint32_t i) { return R[i].box.xmin; },
+                     [&](uint32_t i) { return R[i].box.ymin; },
+                     [&](uint32_t i) { return R[i].ordinal; }));
+      task.compares = join_kernel::SweepForCandidatesAos(L, R, &batch);
+      batch.Flush();
+    }
+    task_ctx.ChargeCpuOps(task.compares, sim::cpu_cost::kCompare);
     task.usage = task_clock.EndPhase();
   };
   const bool pooled = ctx.pool != nullptr && ctx.pool->num_threads() > 1;
@@ -294,8 +427,13 @@ StatusOr<TupleVec> PbsmSpatialJoin(const TupleVec& left, size_t left_col,
   }
   for (size_t p = 0; p < P; ++p) {
     PartitionTask& task = tasks[p];
-    if (!left_parts[p].empty() && !right_parts[p].empty()) ++ran;
+    if (left_parts.count(p) > 0 && right_parts.count(p) > 0) ++ran;
     ctx.ChargeUsage(task.usage);
+    if (ctx.pbsm_stats != nullptr) {
+      ctx.pbsm_stats->sweep_pair_compares += task.compares;
+      ctx.pbsm_stats->sweep_candidates += task.candidates;
+      ctx.pbsm_stats->exact_tests += task.exact_tests;
+    }
     for (Tuple& t : task.out) out.push_back(std::move(t));
   }
   if (ctx.pbsm_stats != nullptr) {
@@ -338,6 +476,11 @@ StatusOr<TupleVec> IndexSpatialJoin(const TupleVec& outer, size_t outer_col,
     sim::ResourceUsage usage;
     std::vector<int64_t> probe_visits;  // index nodes seen, per outer tuple
   };
+  // One SoA snapshot of the (immutable during the join) tree, shared
+  // read-only by every chunk: probes scan flat coordinate arrays instead
+  // of pointer-chasing Entry records. Same traversal, same visit counts.
+  index::RStarTree::FlatView flat_index(inner_index);
+
   std::vector<ChunkTask> tasks(num_chunks);
   auto probe_chunk = [&](size_t c) {
     ChunkTask& task = tasks[c];
@@ -346,33 +489,34 @@ StatusOr<TupleVec> IndexSpatialJoin(const TupleVec& outer, size_t outer_col,
     const size_t lo = c * kChunk;
     const size_t hi = std::min(outer.size(), lo + kChunk);
     task.probe_visits.reserve(hi - lo);
-    auto run = [&]() -> Status {
-      for (size_t i = lo; i < hi; ++i) {
-        const Tuple& o = outer[i];
-        task_ctx.ChargeCpu(sim::cpu_cost::kTupleOverhead +
-                           sim::cpu_cost::kIndexProbe);
-        Box probe = o.at(outer_col).Mbr();
-        int64_t nodes = 0;
-        std::vector<uint64_t> candidates;
-        inner_index.SearchOverlap(
-            probe,
-            [&](const Box&, uint64_t row) {
-              candidates.push_back(row);
-              return true;
-            },
-            &nodes);
-        task.probe_visits.push_back(nodes);
-        for (uint64_t row : candidates) {
-          const Tuple& it = inner[row];
-          PARADISE_ASSIGN_OR_RETURN(
-              bool hit,
-              SpatialIntersects(o.at(outer_col), it.at(inner_col), task_ctx));
-          if (hit) task.out.push_back(ConcatTuples(o, it));
-        }
-      }
-      return Status::OK();
-    };
-    task.status = run();
+    // Per-tuple probe overhead for the whole chunk as one batched charge
+    // (both constants are integer-valued, so the total is bit-identical
+    // to the per-tuple sequence).
+    task_ctx.ChargeCpuOps(
+        static_cast<int64_t>(hi - lo),
+        sim::cpu_cost::kTupleOverhead + sim::cpu_cost::kIndexProbe);
+    index::RStarTree::FlatView::ProbeStack stack;
+    std::vector<join_kernel::OrdinalPair> candidates;
+    for (size_t i = lo; i < hi; ++i) {
+      Box probe = outer[i].at(outer_col).Mbr();
+      int64_t nodes = 0;
+      flat_index.ForEachOverlap(
+          probe,
+          [&candidates, i](const Box&, uint64_t row) {
+            // Tree ids are row indices into `inner` (< 2^32 rows).
+            candidates.push_back({static_cast<uint32_t>(i),
+                                  static_cast<uint32_t>(row)});
+            return true;
+          },
+          &nodes, &stack);
+      task.probe_visits.push_back(nodes);
+    }
+    // Batched exact pass over the chunk's candidates, in probe order —
+    // the same pair order and charge order the interleaved loop had.
+    task.status = join_kernel::ExactJoinBatch(outer, outer_col, inner,
+                                              inner_col, candidates.data(),
+                                              candidates.size(), task_ctx,
+                                              &task.out);
     task.usage = task_clock.EndPhase();
   };
   ForEachTask(ctx.pool, num_chunks, probe_chunk);

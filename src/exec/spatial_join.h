@@ -27,6 +27,17 @@ struct PbsmOptions {
     kBlockHash,
   };
 
+  /// Which per-partition sweep kernel runs the candidate generation.
+  enum class SweepKernel {
+    /// Struct-of-arrays MBR buffers + branch-light forward sweep
+    /// (exec/join_kernel.h). The default: same candidates, charges, and
+    /// output order as kAos, several times faster on the wall clock.
+    kSoa,
+    /// Array-of-structs Item records with Box::Intersects per encounter —
+    /// the pre-kernel layout, kept for ablation only.
+    kAos,
+  };
+
   /// Join partitions per node. [Pate96] uses many more partitions than
   /// would fit-by-size to smooth skew.
   size_t num_partitions = 32;
@@ -34,6 +45,8 @@ struct PbsmOptions {
   size_t cells_per_axis = 0;
   /// Cell→partition map; kModulo is kept for ablation only.
   CellMap cell_map = CellMap::kBlockHash;
+  /// Sweep memory layout; kAos is kept for ablation only.
+  SweepKernel sweep_kernel = SweepKernel::kSoa;
 };
 
 /// Partition Based Spatial-Merge join [Pate96]: grid-partition both

@@ -1,5 +1,6 @@
 #include "geom/polyline.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
@@ -31,17 +32,71 @@ double Polyline::DistanceTo(const Point& p) const {
 
 bool Polyline::Intersects(const Polyline& other) const {
   if (!mbr_.Intersects(other.mbr_)) return false;
-  for (size_t i = 1; i < points_.size(); ++i) {
+  // Slack for the segment-pair interval prune below: comfortably wider
+  // than the eps tolerance SegmentsIntersect's orientation/on-segment
+  // predicates use (1e-12), so the prune can never skip a pair the exact
+  // predicate would accept.
+  constexpr double kPruneSlack = 1e-9;
+  const Point* a = points_.data();
+  const Point* b = other.points_.data();
+  const size_t an = points_.size();
+  const size_t bn = other.points_.size();
+
+  // Bounding intervals of the other chain's segments, computed once per
+  // call instead of once per (i, j) pair. Chains are short (road/river
+  // fragments), so a small stack block covers the common case.
+  constexpr size_t kStackSegs = 32;
+  double stack_buf[kStackSegs * 4];
+  std::vector<double> heap_buf;
+  double* sb = stack_buf;
+  const size_t bsegs = bn > 0 ? bn - 1 : 0;
+  if (bsegs > kStackSegs) {
+    heap_buf.resize(bsegs * 4);
+    sb = heap_buf.data();
+  }
+  for (size_t j = 0; j < bsegs; ++j) {
+    sb[j * 4 + 0] = std::min(b[j].x, b[j + 1].x);
+    sb[j * 4 + 1] = std::max(b[j].x, b[j + 1].x);
+    sb[j * 4 + 2] = std::min(b[j].y, b[j + 1].y);
+    sb[j * 4 + 3] = std::max(b[j].y, b[j + 1].y);
+  }
+
+  const double oxlo = other.mbr_.xmin, oxhi = other.mbr_.xmax;
+  const double oylo = other.mbr_.ymin, oyhi = other.mbr_.ymax;
+  for (size_t i = 1; i < an; ++i) {
     // Per-segment MBR prune against the other chain's MBR.
-    Box seg_box;
-    seg_box.ExpandToInclude(points_[i - 1]);
-    seg_box.ExpandToInclude(points_[i]);
-    if (!seg_box.Intersects(other.mbr_)) continue;
-    for (size_t j = 1; j < other.points_.size(); ++j) {
-      if (SegmentsIntersect(points_[i - 1], points_[i], other.points_[j - 1],
-                            other.points_[j])) {
-        return true;
+    const double sxlo = std::min(a[i - 1].x, a[i].x);
+    const double sxhi = std::max(a[i - 1].x, a[i].x);
+    const double sylo = std::min(a[i - 1].y, a[i].y);
+    const double syhi = std::max(a[i - 1].y, a[i].y);
+    if (sxhi < oxlo || sxlo > oxhi || syhi < oylo || sylo > oyhi) continue;
+    const double axlo = sxlo - kPruneSlack;
+    const double axhi = sxhi + kPruneSlack;
+    const double aylo = sylo - kPruneSlack;
+    const double ayhi = syhi + kPruneSlack;
+    // Interval prune per segment pair, branchless: disjoint bounding
+    // intervals mean the exact test cannot succeed. Survivor indexes are
+    // compress-stored so the orientation tests run in a separate loop —
+    // the prune itself never mispredicts.
+    size_t j = 0;
+    while (j < bsegs) {
+      const size_t block = std::min(bsegs - j, kStackSegs);
+      uint32_t surv[kStackSegs];
+      uint32_t m = 0;
+      for (size_t t = 0; t < block; ++t) {
+        const double* s = sb + (j + t) * 4;
+        const bool keep =
+            (s[1] >= axlo) & (s[0] <= axhi) & (s[3] >= aylo) & (s[2] <= ayhi);
+        surv[m] = static_cast<uint32_t>(j + t);
+        m += keep;
       }
+      for (uint32_t t = 0; t < m; ++t) {
+        const size_t k = surv[t];
+        if (SegmentsIntersect(a[i - 1], a[i], b[k], b[k + 1])) {
+          return true;
+        }
+      }
+      j += block;
     }
   }
   return false;

@@ -169,6 +169,100 @@ TEST(PbsmTest, DegenerateMbrsOnCellBoundariesNoDuplicates) {
   }
 }
 
+/// Ordered (left id, right id) pairs — position-sensitive, unlike JoinKeys.
+std::vector<std::pair<int64_t, int64_t>> OrderedKeys(const TupleVec& joined,
+                                                     size_t lid, size_t rid) {
+  std::vector<std::pair<int64_t, int64_t>> keys;
+  for (const Tuple& t : joined) {
+    keys.emplace_back(t.at(lid).AsInt(), t.at(rid).AsInt());
+  }
+  return keys;
+}
+
+void ExpectUsageEq(const sim::ResourceUsage& a, const sim::ResourceUsage& b) {
+  EXPECT_EQ(a.cpu_ops, b.cpu_ops);  // bit-identical doubles, not near
+  EXPECT_EQ(a.disk_seeks, b.disk_seeks);
+  EXPECT_EQ(a.disk_bytes_read, b.disk_bytes_read);
+  EXPECT_EQ(a.disk_bytes_written, b.disk_bytes_written);
+  EXPECT_EQ(a.net_messages, b.net_messages);
+  EXPECT_EQ(a.net_bytes, b.net_bytes);
+  EXPECT_EQ(a.idle_seconds, b.idle_seconds);
+}
+
+TEST(PbsmTest, DuplicateXminKeepsResultsDeterministicAndCorrect) {
+  // Regression for the sweep sort's tie-break: many MBRs share xmin
+  // exactly (geometries snapped to a 0.5 lattice), so the sort order of
+  // equal keys is decided purely by the (xlo, ordinal) rule. An unstable
+  // sort without the ordinal tie would make the emission order — and with
+  // it the result order — depend on the sort implementation. Two runs
+  // must agree exactly, and both must match nested loops.
+  Rng rng(41);
+  ExecContext ctx = NullCtx();
+  TupleVec left, right;
+  for (int i = 0; i < 200; ++i) {
+    double x = static_cast<double>(rng.NextInt(-10, 10)) * 0.5;
+    double y = static_cast<double>(rng.NextInt(-10, 10)) * 0.5;
+    left.push_back(Tuple(
+        {Value(int64_t{i}), Value(Polyline({{x, y}, {x + 0.7, y + 0.7}}))}));
+    // Right side reuses the same lattice, so cross-side xmin duplicates
+    // (and exact coordinate duplicates within each side) are everywhere.
+    double rx = static_cast<double>(rng.NextInt(-10, 10)) * 0.5;
+    double ry = static_cast<double>(rng.NextInt(-10, 10)) * 0.5;
+    right.push_back(
+        Tuple({Value(int64_t{i + 100000}),
+               Value(Polyline({{rx, ry}, {rx + 0.7, ry - 0.7}}))}));
+  }
+  PbsmOptions opts;
+  opts.num_partitions = 16;
+  auto r1 = PbsmSpatialJoin(left, 1, right, 1, ctx, opts);
+  auto r2 = PbsmSpatialJoin(left, 1, right, 1, ctx, opts);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_EQ(OrderedKeys(*r1, 0, 2), OrderedKeys(*r2, 0, 2));
+  auto nl = NestedLoopsJoin(left, right, Overlaps(Col(1), Col(3)), ctx);
+  ASSERT_TRUE(nl.ok());
+  EXPECT_EQ(JoinKeys(*r1, 0, 2), JoinKeys(*nl, 0, 2));
+}
+
+TEST(PbsmTest, AosKernelBitIdenticalToSoa) {
+  // The AoS sweep is kept for ablation only, but it must stay a true
+  // control: same result rows in the same order, same modeled charges,
+  // and the same sweep counters as the SoA kernel.
+  Rng rng(43);
+  TupleVec left = PolygonTuples(&rng, 180, 45, 5);
+  TupleVec right = PolylineTuples(&rng, 200, 45);
+  PbsmOptions opts;
+  opts.num_partitions = 24;
+
+  std::vector<std::pair<int64_t, int64_t>> keys_soa;
+  sim::ResourceUsage usage_soa;
+  PbsmJoinStats stats_soa;
+  for (auto kernel :
+       {PbsmOptions::SweepKernel::kSoa, PbsmOptions::SweepKernel::kAos}) {
+    opts.sweep_kernel = kernel;
+    sim::NodeClock clock;
+    PbsmJoinStats stats;
+    ExecContext ctx;
+    ctx.clock = &clock;
+    ctx.pbsm_stats = &stats;
+    auto r = PbsmSpatialJoin(left, 1, right, 1, ctx, opts);
+    ASSERT_TRUE(r.ok());
+    sim::ResourceUsage usage = clock.EndPhase();
+    if (kernel == PbsmOptions::SweepKernel::kSoa) {
+      keys_soa = OrderedKeys(*r, 0, 2);
+      usage_soa = usage;
+      stats_soa = stats;
+      EXPECT_GT(stats.sweep_pair_compares, 0);
+      EXPECT_GT(stats.sweep_candidates, 0);
+      EXPECT_GT(stats.exact_tests, 0);
+      EXPECT_GE(stats.sweep_candidates, stats.exact_tests);
+    } else {
+      EXPECT_EQ(OrderedKeys(*r, 0, 2), keys_soa) << "kernels diverged";
+      ExpectUsageEq(usage, usage_soa);
+      EXPECT_EQ(stats, stats_soa);
+    }
+  }
+}
+
 TEST(PbsmTest, ZeroWidthUniverseInflates) {
   // Every geometry is the same single point: the universe has zero width
   // and height, forcing the Inflate(1.0) path; the join must still find
@@ -205,26 +299,6 @@ TEST(PbsmTest, ZeroWidthUniverseInflates) {
   EXPECT_EQ(JoinKeys(*vres, 0, 2), JoinKeys(*vnl, 0, 2));
 }
 
-/// Ordered (left id, right id) pairs — position-sensitive, unlike JoinKeys.
-std::vector<std::pair<int64_t, int64_t>> OrderedKeys(const TupleVec& joined,
-                                                     size_t lid, size_t rid) {
-  std::vector<std::pair<int64_t, int64_t>> keys;
-  for (const Tuple& t : joined) {
-    keys.emplace_back(t.at(lid).AsInt(), t.at(rid).AsInt());
-  }
-  return keys;
-}
-
-void ExpectUsageEq(const sim::ResourceUsage& a, const sim::ResourceUsage& b) {
-  EXPECT_EQ(a.cpu_ops, b.cpu_ops);  // bit-identical doubles, not near
-  EXPECT_EQ(a.disk_seeks, b.disk_seeks);
-  EXPECT_EQ(a.disk_bytes_read, b.disk_bytes_read);
-  EXPECT_EQ(a.disk_bytes_written, b.disk_bytes_written);
-  EXPECT_EQ(a.net_messages, b.net_messages);
-  EXPECT_EQ(a.net_bytes, b.net_bytes);
-  EXPECT_EQ(a.idle_seconds, b.idle_seconds);
-}
-
 TEST(PbsmTest, ThreadCountLeavesResultsAndChargesBitIdentical) {
   Rng rng(31);
   TupleVec left = PolygonTuples(&rng, 220, 50, 6);
@@ -259,6 +333,11 @@ TEST(PbsmTest, ThreadCountLeavesResultsAndChargesBitIdentical) {
       EXPECT_EQ(stats.right_items, stats_1.right_items);
       EXPECT_EQ(stats.max_partition_items, stats_1.max_partition_items);
       EXPECT_EQ(stats.mean_partition_items, stats_1.mean_partition_items);
+      // Sweep-kernel counters are summed in partition order at the merge,
+      // so they must not move with the schedule either.
+      EXPECT_EQ(stats.sweep_pair_compares, stats_1.sweep_pair_compares);
+      EXPECT_EQ(stats.sweep_candidates, stats_1.sweep_candidates);
+      EXPECT_EQ(stats.exact_tests, stats_1.exact_tests);
       EXPECT_GT(stats.parallel_tasks, 0);
     }
   }
