@@ -479,17 +479,27 @@ exec::PbsmJoinStats QueryCoordinator::pbsm_stats() const {
     agg.right_items += s.right_items;
     agg.max_partition_items =
         std::max(agg.max_partition_items, s.max_partition_items);
+    agg.nonempty_partitions += s.nonempty_partitions;
     agg.parallel_tasks += s.parallel_tasks;
+    agg.sweep_pair_compares += s.sweep_pair_compares;
+    agg.sweep_candidates += s.sweep_candidates;
+    agg.exact_tests += s.exact_tests;
   }
-  if (agg.partitions > 0) {
+  // Mean over *non-empty* partitions, matching the per-node definition —
+  // dividing by total P would understate skew exactly when it matters
+  // (clustered inputs leaving most partitions empty).
+  if (agg.nonempty_partitions > 0) {
     agg.mean_partition_items =
         static_cast<double>(agg.left_items + agg.right_items) /
-        static_cast<double>(agg.partitions);
+        static_cast<double>(agg.nonempty_partitions);
   }
   return agg;
 }
 
 void QueryCoordinator::NoteTableMutation(const std::string& table) {
+  // Sampled histograms describe the pre-mutation contents; drop them so
+  // the optimizer falls back to heuristics until stats are rebuilt.
+  cluster_->catalog()->InvalidateTableStats(table);
   if (session_ != nullptr) {
     session_->InvalidateCachedResults(table);
   }

@@ -598,11 +598,15 @@ StatusOr<TopologyManager::MoveOutcome> TopologyManager::ExecuteMove(
       e.epoch = epoch_;
       gc_.push_back(std::move(e));
     }
-    if (!st.empty() && session != nullptr) {
-      // The physical layout under any cached result computed from this
-      // table just changed — same rule as NoteTableMutation.
-      session->InvalidateCachedResults(t->def().name);
-      ++stats_.cache_invalidations;
+    if (!st.empty()) {
+      // The physical layout under any cached result or sampled histogram
+      // computed from this table just changed — same rule as
+      // NoteTableMutation.
+      cluster_->catalog()->InvalidateTableStats(t->def().name);
+      if (session != nullptr) {
+        session->InvalidateCachedResults(t->def().name);
+        ++stats_.cache_invalidations;
+      }
     }
   }
   if (move.spatial) {

@@ -379,4 +379,114 @@ GlobalDataSet GenerateGlobalDataSet(const DataSetOptions& options) {
   return ds;
 }
 
+namespace {
+
+/// Hotspot anchors for the clustered generators: cluster k gets a
+/// deterministic position/extent inside `universe`, and a Zipf-ish weight
+/// (low-index clusters draw more features) so even the clustered mass is
+/// itself unevenly split.
+struct Hotspot {
+  Point center;
+  double extent = 0.0;   // Gaussian sigma / coastline amplitude
+  double heading = 0.0;  // coastline arc direction
+};
+
+std::vector<Hotspot> MakeHotspots(const Box& universe, int n, Rng* rng) {
+  std::vector<Hotspot> out;
+  double span = std::min(universe.Width(), universe.Height());
+  for (int i = 0; i < n; ++i) {
+    Hotspot h;
+    h.center = Point{rng->NextDouble(universe.xmin, universe.xmax),
+                     rng->NextDouble(universe.ymin, universe.ymax)};
+    // Later clusters are tighter: the first hotspot is a metro sprawl,
+    // the tail are pinpoints — the adversarial shape for uniform grids.
+    h.extent = span * 0.02 / (1.0 + i);
+    h.heading = rng->NextDouble(0, 2.0 * M_PI);
+    out.push_back(h);
+  }
+  return out;
+}
+
+size_t PickHotspot(size_t n, Rng* rng) {
+  size_t c = rng->NextUint(n);
+  while (c > 0 && rng->NextBool(0.5)) c /= 2;  // Zipf-ish preference
+  return c;
+}
+
+Point ClampTo(const Box& u, Point p) {
+  p.x = std::clamp(p.x, u.xmin, u.xmax);
+  p.y = std::clamp(p.y, u.ymin, u.ymax);
+  return p;
+}
+
+}  // namespace
+
+std::vector<Tuple> GenerateCoastlineRoads(const ClusteredDataOptions& options) {
+  Rng rng(options.seed);
+  const Box& u = options.universe;
+  std::vector<Hotspot> coasts =
+      MakeHotspots(u, std::max(1, options.num_clusters), &rng);
+  std::vector<Tuple> out;
+  out.reserve(static_cast<size_t>(options.count));
+  for (int64_t i = 0; i < options.count; ++i) {
+    int points = static_cast<int>(rng.NextInt(6, 24));
+    Polyline line;
+    if (rng.NextBool(options.skew)) {
+      // Hug a coastline arc: walk along a gentle circular curve through
+      // the hotspot, with lateral jitter a small fraction of the arc
+      // amplitude — a dense 1-D filament in 2-D space.
+      const Hotspot& c = coasts[PickHotspot(coasts.size(), &rng)];
+      double radius = c.extent * 40.0;
+      double arc0 = rng.NextDouble(0, 2.0 * M_PI);
+      double arc_step = rng.NextDouble(0.002, 0.01);
+      std::vector<Point> pts;
+      pts.reserve(static_cast<size_t>(points));
+      for (int k = 0; k < points; ++k) {
+        double a = arc0 + k * arc_step;
+        double jitter = c.extent * 0.1;
+        pts.push_back(ClampTo(
+            u, Point{c.center.x + radius * std::cos(c.heading + a) +
+                         rng.NextGaussian() * jitter,
+                     c.center.y + radius * std::sin(c.heading + a) +
+                         rng.NextGaussian() * jitter}));
+      }
+      line = Polyline(std::move(pts));
+    } else {
+      Point start{rng.NextDouble(u.xmin, u.xmax),
+                  rng.NextDouble(u.ymin, u.ymax)};
+      line = RandomPolyline(start, rng.NextDouble(0.05, 0.4), points, &rng);
+    }
+    int64_t type = rng.NextInt(0, kNumRoadTypes - 1);
+    out.push_back(Tuple({Value("CR" + std::to_string(i)), Value(type),
+                         Value(std::move(line))}));
+  }
+  return out;
+}
+
+std::vector<Tuple> GenerateUrbanPoints(const ClusteredDataOptions& options) {
+  Rng rng(options.seed ^ 0x9e3779b97f4a7c15ULL);
+  const Box& u = options.universe;
+  std::vector<Hotspot> cities =
+      MakeHotspots(u, std::max(1, options.num_clusters), &rng);
+  std::vector<Tuple> out;
+  out.reserve(static_cast<size_t>(options.count));
+  for (int64_t i = 0; i < options.count; ++i) {
+    Point p;
+    if (rng.NextBool(options.skew)) {
+      const Hotspot& c = cities[PickHotspot(cities.size(), &rng)];
+      p = ClampTo(u, Point{c.center.x + rng.NextGaussian() * c.extent,
+                           c.center.y + rng.NextGaussian() * c.extent});
+    } else {
+      p = Point{rng.NextDouble(u.xmin, u.xmax),
+                rng.NextDouble(u.ymin, u.ymax)};
+    }
+    int64_t type = rng.NextBool(0.02) ? kLargeCityType
+                                      : rng.NextInt(0, kNumPlaceTypes - 2);
+    out.push_back(Tuple({Value("UP" + std::to_string(i)),
+                         Value("UF" + std::to_string(i / 16)), Value(type),
+                         Value(p), Value("urban-" + std::to_string(i))}));
+  }
+  return out;
+}
+
 }  // namespace paradise::datagen

@@ -96,6 +96,34 @@ exec::Schema RasterSchema();
 /// Generates the data set; deterministic in `options.seed`.
 GlobalDataSet GenerateGlobalDataSet(const DataSetOptions& options);
 
+/// Adversarially clustered workloads for the adaptive-partitioning
+/// ablation (skew studies, not paper reproduction): nearly all features
+/// concentrate in a few hotspots, so uniform PBSM cell maps overload the
+/// partitions that happen to own them.
+struct ClusteredDataOptions {
+  uint64_t seed = 7;
+  /// Feature count before any polyline splitting.
+  int64_t count = 10'000;
+  /// Number of hotspots (coastline arcs / urban centers).
+  int num_clusters = 6;
+  /// Fraction of features drawn from hotspots instead of the uniform
+  /// background: 0 = uniform data, 1 = fully clustered.
+  double skew = 0.9;
+  geom::Box universe = geom::Box(-180.0, -90.0, 180.0, 90.0);
+};
+
+/// Coastline-hugging polylines: roads follow a handful of long synthetic
+/// coastline arcs with small lateral jitter. RoadsSchema-compatible
+/// tuples (id, type, shape); deterministic in `options.seed`.
+std::vector<exec::Tuple> GenerateCoastlineRoads(
+    const ClusteredDataOptions& options);
+
+/// Gaussian urban point clusters with Zipf-weighted center choice.
+/// PlacesSchema-compatible tuples (id, face, type, location, name);
+/// deterministic in `options.seed`.
+std::vector<exec::Tuple> GenerateUrbanPoints(
+    const ClusteredDataOptions& options);
+
 /// The paper's resolution-scaleup primitives (exposed for tests):
 /// scale a polygon S times: the original gains N*(S-1)/S points by edge
 /// splitting, and S-1 regular "satellite" polygons (each with N*(S-1)/S

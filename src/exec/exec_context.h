@@ -29,6 +29,7 @@ struct PbsmJoinStats {
   int64_t right_items = 0;
   int64_t max_partition_items = 0;
   double mean_partition_items = 0.0;
+  int64_t nonempty_partitions = 0;  // partitions with at least one item
   int64_t parallel_tasks = 0;     // partition sweeps run as pool tasks
 
   // Sweep-kernel counters (summed over partitions, in partition order):

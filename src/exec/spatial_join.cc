@@ -118,6 +118,48 @@ struct Grid {
   }
 };
 
+/// Non-uniform grid over tuned cell boundaries (CellMap::kAdaptive).
+/// Same contract as Grid — CellOf and CellRange agree, out-of-range and
+/// ±inf coordinates clamp to the edge cells (an empty box still yields an
+/// inverted, i.e. empty, cell range) — but cell lookup is a binary search
+/// over the tuned edges instead of one multiply.
+struct NonUniformGrid {
+  const std::vector<double>& x_edges;
+  const std::vector<double>& y_edges;
+  size_t cells_x;
+  size_t cells_y;
+
+  explicit NonUniformGrid(const AdaptiveCellGrid& g)
+      : x_edges(g.x_edges),
+        y_edges(g.y_edges),
+        cells_x(g.cells_x()),
+        cells_y(g.cells_y()) {}
+
+  static size_t CellOnAxis(const std::vector<double>& edges, size_t cells,
+                           double v) {
+    size_t i = static_cast<size_t>(
+        std::upper_bound(edges.begin(), edges.end(), v) - edges.begin());
+    if (i == 0) return 0;
+    --i;
+    return i >= cells ? cells - 1 : i;
+  }
+
+  size_t CellX(double x) const { return CellOnAxis(x_edges, cells_x, x); }
+  size_t CellY(double y) const { return CellOnAxis(y_edges, cells_y, y); }
+
+  size_t CellOf(double x, double y) const {
+    return CellY(y) * cells_x + CellX(x);
+  }
+
+  void CellRange(double bxlo, double bylo, double bxhi, double byhi,
+                 size_t* cx0, size_t* cy0, size_t* cx1, size_t* cy1) const {
+    *cx0 = CellX(bxlo);
+    *cy0 = CellY(bylo);
+    *cx1 = CellX(bxhi);
+    *cy1 = CellY(byhi);
+  }
+};
+
 /// One side's partition assignment in CSR form: `rows` holds tuple
 /// ordinals grouped by partition (replicas included), `offsets[p] ..
 /// offsets[p+1]` delimits partition p. Built by a stable counting sort
@@ -141,73 +183,22 @@ struct SweepScratch {
 };
 thread_local SweepScratch t_sweep_scratch;
 
-}  // namespace
-
-StatusOr<TupleVec> PbsmSpatialJoin(const TupleVec& left, size_t left_col,
-                                   const TupleVec& right, size_t right_col,
-                                   const ExecContext& ctx,
-                                   const PbsmOptions& options) {
-  // Reset the stats sink up front: a sink reused across queries must
-  // describe *this* join, even when an empty input short-circuits below —
-  // otherwise the previous query's partition/replication stats leak into
-  // this one's report.
-  if (ctx.pbsm_stats != nullptr) ctx.pbsm_stats->Clear();
-
+/// The grid-parametric join body: everything after universe/grid setup.
+/// `GridT` is Grid (uniform) or NonUniformGrid (tuned boundaries); both
+/// expose the same CellOf/CellRange contract, so the distribute phase and
+/// the reference-point duplicate-elimination rule stay in agreement.
+/// `cells_axis_stat` is only reported in stats.
+template <typename GridT, typename PartFn>
+StatusOr<TupleVec> PbsmJoinBody(const TupleVec& left, size_t left_col,
+                                const TupleVec& right, size_t right_col,
+                                const ExecContext& ctx,
+                                const PbsmOptions& options,
+                                const join_kernel::MbrColumns& left_cols,
+                                const join_kernel::MbrColumns& right_cols,
+                                size_t P, size_t cells_axis_stat,
+                                const GridT& grid,
+                                const PartFn& partition_of_cell) {
   TupleVec out;
-  if (left.empty() || right.empty()) return out;
-
-  // Universe = union of both inputs' extents. The same pass gathers every
-  // tuple's MBR into column-major buffers (exec/join_kernel.h), so
-  // `Tuple::at(col).Mbr()` runs once per tuple here and never again inside
-  // the hot phases.
-  join_kernel::MbrColumns left_cols, right_cols;
-  Box universe;
-  auto gather_mbrs = [&universe](const TupleVec& tuples, size_t col,
-                                 join_kernel::MbrColumns* cols) {
-    const size_t n = tuples.size();
-    cols->Resize(n);
-    for (size_t i = 0; i < n; ++i) {
-      // The tuple array is walked in order but each tuple's values live
-      // behind a heap pointer the hardware prefetcher can't follow; stage
-      // the next few rows' value arrays in ahead of the Mbr() call.
-      if (i + 8 < n) __builtin_prefetch(tuples[i + 8].values.data());
-      Box b = tuples[i].at(col).Mbr();
-      cols->Set(i, b);
-      universe.ExpandToInclude(b);
-    }
-  };
-  gather_mbrs(left, left_col, &left_cols);
-  gather_mbrs(right, right_col, &right_cols);
-  if (universe.Width() <= 0 || universe.Height() <= 0) {
-    universe = universe.Inflate(1.0);
-  }
-
-  const size_t P = std::max<size_t>(1, options.num_partitions);
-  size_t cells_axis = options.cells_per_axis;
-  if (cells_axis == 0) {
-    cells_axis = std::max<size_t>(
-        1, static_cast<size_t>(std::ceil(std::sqrt(16.0 * P))));
-  }
-  Grid grid(universe, cells_axis, cells_axis);
-  // Small grids get the cell->partition map precomputed: the distribute
-  // loop and the reference-point filter call it per cell visit, and a
-  // table lookup beats re-running the block hash every time. Same pure
-  // function either way.
-  std::vector<uint32_t> cell_part;
-  if (cells_axis * cells_axis <= (1u << 16)) {
-    cell_part.resize(cells_axis * cells_axis);
-    for (size_t c = 0; c < cell_part.size(); ++c) {
-      cell_part[c] =
-          static_cast<uint32_t>(PartitionOfCell(c, cells_axis, P,
-                                                options.cell_map));
-    }
-  }
-  auto partition_of_cell = [&cell_part, cells_axis, P,
-                            map = options.cell_map](size_t c) -> size_t {
-    if (!cell_part.empty()) return cell_part[c];
-    return PartitionOfCell(c, cells_axis, P, map);
-  };
-
   // Each side's ordinals argsorted by (xlo, ordinal), once, globally. The
   // distribute below walks rows in this order and its counting sort is
   // stable, so every partition's row list comes out already in sweep
@@ -246,7 +237,7 @@ StatusOr<TupleVec> PbsmSpatialJoin(const TupleVec& left, size_t left_col,
       grid.CellRange(cols.xlo[i], cols.ylo[i], cols.xhi[i], cols.yhi[i],
                      &cx0, &cy0, &cx1, &cy1);
       if (cx0 == cx1 && cy0 == cy1) {
-        size_t p = partition_of_cell(cy0 * cells_axis + cx0);
+        size_t p = partition_of_cell(cy0 * grid.cells_x + cx0);
         entry_part.push_back(static_cast<uint32_t>(p));
         entry_row.push_back(i);
         ++counts[p];
@@ -255,7 +246,7 @@ StatusOr<TupleVec> PbsmSpatialJoin(const TupleVec& left, size_t left_col,
       ++epoch;
       for (size_t cy = cy0; cy <= cy1; ++cy) {
         for (size_t cx = cx0; cx <= cx1; ++cx) {
-          size_t p = partition_of_cell(cy * cells_axis + cx);
+          size_t p = partition_of_cell(cy * grid.cells_x + cx);
           if (seen_epoch[p] != epoch) {
             seen_epoch[p] = epoch;
             entry_part.push_back(static_cast<uint32_t>(p));
@@ -283,11 +274,12 @@ StatusOr<TupleVec> PbsmSpatialJoin(const TupleVec& left, size_t left_col,
   if (ctx.pbsm_stats != nullptr) {
     PbsmJoinStats& st = *ctx.pbsm_stats;
     st.partitions = P;
-    st.cells_per_axis = cells_axis;
+    st.cells_per_axis = cells_axis_stat;
     st.left_tuples = static_cast<int64_t>(left.size());
     st.right_tuples = static_cast<int64_t>(right.size());
     st.left_items = st.right_items = st.max_partition_items = 0;
     st.mean_partition_items = 0.0;
+    st.nonempty_partitions = 0;
     st.parallel_tasks = 0;
     size_t nonempty = 0;
     for (size_t p = 0; p < P; ++p) {
@@ -298,6 +290,7 @@ StatusOr<TupleVec> PbsmSpatialJoin(const TupleVec& left, size_t left_col,
       st.max_partition_items = std::max(st.max_partition_items, l + r);
       if (l + r > 0) ++nonempty;
     }
+    st.nonempty_partitions = static_cast<int64_t>(nonempty);
     if (nonempty > 0) {
       st.mean_partition_items =
           static_cast<double>(st.left_items + st.right_items) /
@@ -440,6 +433,110 @@ StatusOr<TupleVec> PbsmSpatialJoin(const TupleVec& left, size_t left_col,
     ctx.pbsm_stats->parallel_tasks = pooled ? ran : 0;
   }
   return out;
+}
+
+}  // namespace
+
+bool AdaptiveCellGrid::Valid(size_t num_partitions) const {
+  if (x_edges.size() < 2 || y_edges.size() < 2) return false;
+  for (size_t i = 1; i < x_edges.size(); ++i) {
+    if (!(x_edges[i] > x_edges[i - 1])) return false;
+  }
+  for (size_t i = 1; i < y_edges.size(); ++i) {
+    if (!(y_edges[i] > y_edges[i - 1])) return false;
+  }
+  if (cell_part.size() != cells_x() * cells_y()) return false;
+  for (uint32_t p : cell_part) {
+    if (p >= num_partitions) return false;
+  }
+  return true;
+}
+
+StatusOr<TupleVec> PbsmSpatialJoin(const TupleVec& left, size_t left_col,
+                                   const TupleVec& right, size_t right_col,
+                                   const ExecContext& ctx,
+                                   const PbsmOptions& options) {
+  // Reset the stats sink up front: a sink reused across queries must
+  // describe *this* join, even when an empty input short-circuits below —
+  // otherwise the previous query's partition/replication stats leak into
+  // this one's report.
+  if (ctx.pbsm_stats != nullptr) ctx.pbsm_stats->Clear();
+
+  TupleVec out;
+  if (left.empty() || right.empty()) return out;
+
+  // Universe = union of both inputs' extents. The same pass gathers every
+  // tuple's MBR into column-major buffers (exec/join_kernel.h), so
+  // `Tuple::at(col).Mbr()` runs once per tuple here and never again inside
+  // the hot phases.
+  join_kernel::MbrColumns left_cols, right_cols;
+  Box universe;
+  auto gather_mbrs = [&universe](const TupleVec& tuples, size_t col,
+                                 join_kernel::MbrColumns* cols) {
+    const size_t n = tuples.size();
+    cols->Resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      // The tuple array is walked in order but each tuple's values live
+      // behind a heap pointer the hardware prefetcher can't follow; stage
+      // the next few rows' value arrays in ahead of the Mbr() call.
+      if (i + 8 < n) __builtin_prefetch(tuples[i + 8].values.data());
+      Box b = tuples[i].at(col).Mbr();
+      cols->Set(i, b);
+      universe.ExpandToInclude(b);
+    }
+  };
+  gather_mbrs(left, left_col, &left_cols);
+  gather_mbrs(right, right_col, &right_cols);
+  if (universe.Width() <= 0 || universe.Height() <= 0) {
+    universe = universe.Inflate(1.0);
+  }
+
+  const size_t P = std::max<size_t>(1, options.num_partitions);
+
+  if (options.cell_map == PbsmOptions::CellMap::kAdaptive) {
+    const AdaptiveCellGrid* tuned = options.adaptive;
+    if (tuned == nullptr || !tuned->Valid(P)) {
+      return Status::InvalidArgument(
+          "PbsmSpatialJoin: CellMap::kAdaptive needs a valid "
+          "PbsmOptions::adaptive grid");
+    }
+    NonUniformGrid grid(*tuned);
+    auto partition_of_cell = [tuned](size_t c) -> size_t {
+      return tuned->cell_part[c];
+    };
+    return PbsmJoinBody(left, left_col, right, right_col, ctx, options,
+                        left_cols, right_cols, P,
+                        std::max(grid.cells_x, grid.cells_y), grid,
+                        partition_of_cell);
+  }
+
+  size_t cells_axis = options.cells_per_axis;
+  if (cells_axis == 0) {
+    cells_axis = std::max<size_t>(
+        1, static_cast<size_t>(std::ceil(std::sqrt(16.0 * P))));
+  }
+  Grid grid(universe, cells_axis, cells_axis);
+  // Small grids get the cell->partition map precomputed: the distribute
+  // loop and the reference-point filter call it per cell visit, and a
+  // table lookup beats re-running the block hash every time. Same pure
+  // function either way.
+  std::vector<uint32_t> cell_part;
+  if (cells_axis * cells_axis <= (1u << 16)) {
+    cell_part.resize(cells_axis * cells_axis);
+    for (size_t c = 0; c < cell_part.size(); ++c) {
+      cell_part[c] =
+          static_cast<uint32_t>(PartitionOfCell(c, cells_axis, P,
+                                                options.cell_map));
+    }
+  }
+  auto partition_of_cell = [&cell_part, cells_axis, P,
+                            map = options.cell_map](size_t c) -> size_t {
+    if (!cell_part.empty()) return cell_part[c];
+    return PartitionOfCell(c, cells_axis, P, map);
+  };
+  return PbsmJoinBody(left, left_col, right, right_col, ctx, options,
+                      left_cols, right_cols, P, cells_axis, grid,
+                      partition_of_cell);
 }
 
 void IndexProbeCharger::ChargeVisits(int64_t visited) {

@@ -10,6 +10,27 @@
 
 namespace paradise::exec {
 
+/// Non-uniform PBSM grid produced by the optimizer's partition tuner
+/// (opt::PartitionTuner): monotone cell boundaries per axis plus an
+/// explicit cell→partition assignment. Defined here (not in opt/) so the
+/// executor can consume tuned plans without depending on the optimizer.
+struct AdaptiveCellGrid {
+  /// Cell boundaries, strictly increasing; cell i spans
+  /// [x_edges[i], x_edges[i+1]). Sizes are cells+1.
+  std::vector<double> x_edges;
+  std::vector<double> y_edges;
+  /// Row-major cell→partition map, size (x_edges-1) * (y_edges-1);
+  /// entries in [0, num_partitions).
+  std::vector<uint32_t> cell_part;
+
+  size_t cells_x() const { return x_edges.empty() ? 0 : x_edges.size() - 1; }
+  size_t cells_y() const { return y_edges.empty() ? 0 : y_edges.size() - 1; }
+  bool Valid(size_t num_partitions) const;
+
+  friend bool operator==(const AdaptiveCellGrid&,
+                         const AdaptiveCellGrid&) = default;
+};
+
 struct PbsmOptions {
   /// How grid cells map to join partitions.
   enum class CellMap {
@@ -25,6 +46,11 @@ struct PbsmOptions {
     /// hash. Adjacent cells always hit distinct partitions and distinct
     /// blocks are decorrelated, so hot regions spread over all P.
     kBlockHash,
+    /// Tuned non-uniform grid: cell boundaries and the cell→partition map
+    /// come from `PbsmOptions::adaptive` (built by opt::PartitionTuner
+    /// from sampled density histograms). Requires `adaptive` to be set
+    /// and valid; `cells_per_axis`/auto-sizing are ignored.
+    kAdaptive,
   };
 
   /// Which per-partition sweep kernel runs the candidate generation.
@@ -47,6 +73,9 @@ struct PbsmOptions {
   CellMap cell_map = CellMap::kBlockHash;
   /// Sweep memory layout; kAos is kept for ablation only.
   SweepKernel sweep_kernel = SweepKernel::kSoa;
+  /// Tuned grid consumed when `cell_map == kAdaptive`. Not owned; must
+  /// outlive the join call.
+  const AdaptiveCellGrid* adaptive = nullptr;
 };
 
 /// Partition Based Spatial-Merge join [Pate96]: grid-partition both

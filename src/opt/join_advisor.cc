@@ -1,0 +1,99 @@
+#include "opt/join_advisor.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace paradise::opt {
+
+namespace {
+
+double LogScale(double v) { return std::log2(v + 1.0); }
+
+}  // namespace
+
+JoinAdvisor::JoinAdvisor(const JoinAdvisorOptions& options)
+    : options_(options) {}
+
+double JoinAdvisor::Distance(const JoinFeatures& a, const JoinFeatures& b) {
+  // Cardinalities dominate join cost, so they enter at full weight;
+  // skew matters mostly for PBSM balance, half weight.
+  double d = 0;
+  double dr = LogScale(a.left_rows) - LogScale(b.left_rows);
+  d += dr * dr;
+  dr = LogScale(a.right_rows) - LogScale(b.right_rows);
+  d += dr * dr;
+  dr = 0.5 * (LogScale(a.left_skew) - LogScale(b.left_skew));
+  d += dr * dr;
+  dr = 0.5 * (LogScale(a.right_skew) - LogScale(b.right_skew));
+  d += dr * dr;
+  return std::sqrt(d);
+}
+
+bool JoinAdvisor::Predict(const JoinFeatures& f, JoinMethod method,
+                          double* seconds, size_t* cells) const {
+  // Relevant observations of this method, nearest first. Ties break on
+  // insertion order (older first) so the prediction is a pure function of
+  // the Record() sequence.
+  struct Scored {
+    double dist;
+    size_t idx;
+  };
+  std::vector<Scored> near;
+  for (size_t i = 0; i < store_.size(); ++i) {
+    const JoinObservation& o = store_[i];
+    if (o.method != method) continue;
+    double d = Distance(f, o.features);
+    if (d > options_.max_distance) continue;
+    near.push_back({d, i});
+  }
+  if (near.size() < options_.min_observations) return false;
+  std::sort(near.begin(), near.end(), [](const Scored& a, const Scored& b) {
+    if (a.dist != b.dist) return a.dist < b.dist;
+    return a.idx < b.idx;
+  });
+  if (near.size() > options_.k) near.resize(options_.k);
+
+  // Inverse-distance weighted mean of the neighbours' modeled seconds;
+  // the resolution comes from the single nearest neighbour (resolution is
+  // categorical — averaging two good grids can give a bad one).
+  double wsum = 0, acc = 0;
+  for (const Scored& s : near) {
+    double w = 1.0 / (s.dist + 1e-6);
+    wsum += w;
+    acc += w * store_[s.idx].modeled_seconds;
+  }
+  *seconds = acc / wsum;
+  *cells = store_[near.front().idx].cells_per_axis;
+  return true;
+}
+
+JoinDecision JoinAdvisor::Choose(const JoinFeatures& f) const {
+  double pbsm_s = 0, inl_s = 0;
+  size_t pbsm_cells = 0, inl_cells = 0;
+  bool have_pbsm = Predict(f, JoinMethod::kPbsm, &pbsm_s, &pbsm_cells);
+  bool have_inl =
+      Predict(f, JoinMethod::kIndexNestedLoops, &inl_s, &inl_cells);
+
+  JoinDecision d;
+  if (!have_pbsm && !have_inl) {
+    // Cold start: today's fixed heuristic — PBSM, executor-default grid.
+    return d;
+  }
+  if (have_pbsm && (!have_inl || pbsm_s <= inl_s)) {
+    d.method = JoinMethod::kPbsm;
+    d.cells_per_axis = pbsm_cells;
+    d.predicted_seconds = pbsm_s;
+  } else {
+    d.method = JoinMethod::kIndexNestedLoops;
+    d.predicted_seconds = inl_s;
+  }
+  d.from_feedback = true;
+  return d;
+}
+
+void JoinAdvisor::Record(const JoinObservation& obs) {
+  store_.push_back(obs);
+  while (store_.size() > options_.capacity) store_.pop_front();
+}
+
+}  // namespace paradise::opt

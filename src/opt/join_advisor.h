@@ -1,0 +1,110 @@
+#ifndef PARADISE_OPT_JOIN_ADVISOR_H_
+#define PARADISE_OPT_JOIN_ADVISOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "exec/exec_context.h"
+
+namespace paradise::opt {
+
+enum class JoinMethod {
+  kPbsm,              // partition based spatial-merge
+  kIndexNestedLoops,  // R*-tree probe per outer tuple
+};
+
+/// Plan-time features of a spatial join, derived from table statistics
+/// (HistogramStats) — never from the data itself, so computing them is
+/// free at query time.
+struct JoinFeatures {
+  double left_rows = 0.0;
+  double right_rows = 0.0;
+  double left_skew = 1.0;   // HistogramStats::DensitySkew()
+  double right_skew = 1.0;
+  friend bool operator==(const JoinFeatures&, const JoinFeatures&) = default;
+};
+
+/// One completed join's feedback: what ran and what it cost in modeled
+/// seconds (the virtual-clock phase time — deterministic, so learning
+/// from it cannot perturb reproducibility).
+struct JoinObservation {
+  JoinFeatures features;
+  JoinMethod method = JoinMethod::kPbsm;
+  size_t cells_per_axis = 0;
+  double modeled_seconds = 0.0;
+  exec::PbsmJoinStats stats;  // zeroed for index nested loops
+};
+
+/// What the advisor picked for a query.
+struct JoinDecision {
+  JoinMethod method = JoinMethod::kPbsm;
+  /// Grid resolution to use for PBSM; 0 = the executor's auto rule.
+  size_t cells_per_axis = 0;
+  /// True when the decision came from feedback; false = cold-start
+  /// fallback to the fixed heuristic.
+  bool from_feedback = false;
+  /// Modeled seconds the feedback predicts for the chosen method
+  /// (0 when cold).
+  double predicted_seconds = 0.0;
+};
+
+struct JoinAdvisorOptions {
+  /// Bounded feedback store: oldest observations are evicted first.
+  size_t capacity = 64;
+  /// Neighbours per method used for the cost prediction.
+  size_t k = 3;
+  /// A method is only predictable once it has this many observations
+  /// within `max_distance` of the query point; otherwise the advisor
+  /// falls back to the fixed heuristic for that comparison.
+  size_t min_observations = 1;
+  /// Feature-space radius (normalized log-domain distance) beyond which
+  /// observations are considered irrelevant to a query.
+  double max_distance = 2.0;
+};
+
+/// SOLAR-style cost-feedback join chooser: a bounded store of
+/// (features → method, resolution, modeled seconds) observations, queried
+/// by k-nearest-neighbour distance in normalized log-feature space. Cold
+/// (no relevant evidence for both methods) it falls back to today's fixed
+/// heuristic: PBSM at the executor's default resolution. All decisions
+/// are pure functions of (store contents, features) and the store's
+/// content is a pure function of the Record() sequence — callers must
+/// Record() at a deterministic point (the coordinator's merge) to keep
+/// advice bit-identical at any PARADISE_THREADS.
+///
+/// Not internally synchronized: owned and driven by the coordinator
+/// thread, like the catalog.
+class JoinAdvisor {
+ public:
+  explicit JoinAdvisor(const JoinAdvisorOptions& options = {});
+
+  /// Picks the method + resolution for a join with features `f`.
+  JoinDecision Choose(const JoinFeatures& f) const;
+
+  /// Feeds one completed join back into the store.
+  void Record(const JoinObservation& obs);
+
+  /// Drops all feedback (e.g. after a cost-model change).
+  void Clear() { store_.clear(); }
+
+  size_t observations() const { return store_.size(); }
+  const std::deque<JoinObservation>& store() const { return store_; }
+
+  /// Normalized log-domain feature distance (exposed for tests).
+  static double Distance(const JoinFeatures& a, const JoinFeatures& b);
+
+ private:
+  /// kNN cost prediction for `method`; false when the store holds fewer
+  /// than min_observations relevant points for it.
+  bool Predict(const JoinFeatures& f, JoinMethod method, double* seconds,
+               size_t* cells) const;
+
+  JoinAdvisorOptions options_;
+  std::deque<JoinObservation> store_;
+};
+
+}  // namespace paradise::opt
+
+#endif  // PARADISE_OPT_JOIN_ADVISOR_H_

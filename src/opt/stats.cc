@@ -1,0 +1,160 @@
+#include "opt/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace paradise::opt {
+
+uint64_t StatsHash(uint64_t seed, uint64_t key) {
+  // SplitMix64 finalizer over the (seed, key) pair; same construction as
+  // the fault injector's decision hashes.
+  uint64_t x = seed + 0x9e3779b97f4a7c15ULL * (key + 1);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+SpatialSampler::SpatialSampler(uint64_t seed, uint64_t salt, size_t capacity)
+    : seed_(StatsHash(seed, 0x5a17'0000 ^ salt)), capacity_(capacity) {
+  entries_.reserve(capacity_ + capacity_ / 2 + 1);
+}
+
+void SpatialSampler::Add(uint64_t ordinal, const geom::Box& mbr) {
+  ++seen_;
+  entries_.push_back(Entry{StatsHash(seed_, ordinal), ordinal, mbr});
+  if (entries_.size() >= 2 * capacity_ + 2) Trim();
+}
+
+void SpatialSampler::Merge(const SpatialSampler& other) {
+  seen_ += other.seen_;
+  entries_.insert(entries_.end(), other.entries_.begin(),
+                  other.entries_.end());
+  Trim();
+}
+
+void SpatialSampler::Trim() {
+  if (entries_.size() <= capacity_) return;
+  auto less = [](const Entry& a, const Entry& b) {
+    if (a.priority != b.priority) return a.priority < b.priority;
+    return a.ordinal < b.ordinal;
+  };
+  std::nth_element(entries_.begin(), entries_.begin() + capacity_ - 1,
+                   entries_.end(), less);
+  entries_.resize(capacity_);
+}
+
+std::vector<geom::Box> SpatialSampler::Samples() const {
+  std::vector<Entry> sorted = entries_;
+  std::sort(sorted.begin(), sorted.end(), [](const Entry& a, const Entry& b) {
+    if (a.priority != b.priority) return a.priority < b.priority;
+    return a.ordinal < b.ordinal;
+  });
+  if (sorted.size() > capacity_) sorted.resize(capacity_);
+  std::vector<geom::Box> out;
+  out.reserve(sorted.size());
+  for (const Entry& e : sorted) out.push_back(e.mbr);
+  return out;
+}
+
+namespace {
+
+// Clamped tile coordinate of v along [lo, lo + n*step).
+size_t TileCoord(double v, double lo, double inv_step, size_t n) {
+  double t = (v - lo) * inv_step;
+  if (!(t > 0)) return 0;
+  size_t i = static_cast<size_t>(t);
+  return i >= n ? n - 1 : i;
+}
+
+}  // namespace
+
+double HistogramStats::DensitySkew() const {
+  double max = 0, sum = 0;
+  int64_t nonempty = 0;
+  for (double r : tile_rows) {
+    if (r <= 0) continue;
+    ++nonempty;
+    sum += r;
+    if (r > max) max = r;
+  }
+  if (nonempty == 0) return 1.0;
+  return max / (sum / static_cast<double>(nonempty));
+}
+
+double HistogramStats::EstimateRows(const geom::Box& b) const {
+  if (empty() || b.IsEmpty()) return 0.0;
+  double step_x = universe.Width() / static_cast<double>(nx);
+  double step_y = universe.Height() / static_cast<double>(ny);
+  if (step_x <= 0 || step_y <= 0) return 0.0;
+  size_t x0 = TileCoord(b.xmin, universe.xmin, 1.0 / step_x, nx);
+  size_t x1 = TileCoord(b.xmax, universe.xmin, 1.0 / step_x, nx);
+  size_t y0 = TileCoord(b.ymin, universe.ymin, 1.0 / step_y, ny);
+  size_t y1 = TileCoord(b.ymax, universe.ymin, 1.0 / step_y, ny);
+  double est = 0.0;
+  for (size_t y = y0; y <= y1; ++y) {
+    for (size_t x = x0; x <= x1; ++x) {
+      double rows = tile_at(x, y);
+      if (rows <= 0) continue;
+      geom::Box tile = geom::Box(
+          universe.xmin + static_cast<double>(x) * step_x,
+          universe.ymin + static_cast<double>(y) * step_y,
+          universe.xmin + static_cast<double>(x + 1) * step_x,
+          universe.ymin + static_cast<double>(y + 1) * step_y);
+      geom::Box overlap = tile.Intersection(b);
+      if (overlap.IsEmpty()) continue;
+      double frac = overlap.Area() / tile.Area();
+      est += rows * (frac > 1.0 ? 1.0 : frac);
+    }
+  }
+  return est;
+}
+
+HistogramStats BuildHistogram(const std::string& table,
+                              const geom::Box& universe,
+                              const std::vector<geom::Box>& samples,
+                              int64_t total_rows,
+                              const BuildHistogramOptions& options) {
+  HistogramStats h;
+  h.table = table;
+  h.universe = universe;
+  h.total_rows = total_rows;
+  h.sampled_rows = static_cast<int64_t>(samples.size());
+  if (options.tiles_per_axis == 0 || universe.IsEmpty() ||
+      universe.Width() <= 0 || universe.Height() <= 0) {
+    return h;
+  }
+  h.nx = options.tiles_per_axis;
+  h.ny = options.tiles_per_axis;
+  h.tile_rows.assign(h.nx * h.ny, 0.0);
+  h.tiles.assign(h.nx * h.ny, HistogramStats::TileSummary{});
+  if (samples.empty()) return h;
+
+  double inv_step_x = static_cast<double>(h.nx) / universe.Width();
+  double inv_step_y = static_cast<double>(h.ny) / universe.Height();
+  double scale = static_cast<double>(total_rows) /
+                 static_cast<double>(samples.size());
+  double sum_w = 0, sum_h = 0;
+  for (const geom::Box& mbr : samples) {
+    sum_w += mbr.Width();
+    sum_h += mbr.Height();
+    // Reference point: the MBR's lower-left corner clamped into the
+    // universe — matches SpatialGrid's primary-copy rule so histogram
+    // density tracks where features are actually homed.
+    double rx = std::clamp(mbr.xmin, universe.xmin, universe.xmax);
+    double ry = std::clamp(mbr.ymin, universe.ymin, universe.ymax);
+    size_t cell = TileCoord(ry, universe.ymin, inv_step_y, h.ny) * h.nx +
+                  TileCoord(rx, universe.xmin, inv_step_x, h.nx);
+    h.tile_rows[cell] += scale;
+    HistogramStats::TileSummary& t = h.tiles[cell];
+    t.mbr.ExpandToInclude(mbr);
+    t.est_rows += scale;
+  }
+  h.avg_width = sum_w / static_cast<double>(samples.size());
+  h.avg_height = sum_h / static_cast<double>(samples.size());
+  return h;
+}
+
+}  // namespace paradise::opt

@@ -1,0 +1,117 @@
+#ifndef PARADISE_OPT_STATS_H_
+#define PARADISE_OPT_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geom/box.h"
+
+namespace paradise::opt {
+
+/// Pure 64-bit mixer (SplitMix64 finalizer) — the same keyed-hash
+/// determinism scheme sim::FaultInjector uses: every sampling decision is
+/// a pure function of (seed, stable key), never of thread schedule, so
+/// statistics are bit-identical at any PARADISE_THREADS setting.
+uint64_t StatsHash(uint64_t seed, uint64_t key);
+
+/// Deterministic uniform reservoir sample of spatial MBRs, implemented as
+/// a bottom-k sketch: every row's priority is StatsHash(seed, ordinal) and
+/// the reservoir keeps the `capacity` rows with the smallest priorities.
+/// Unlike Algorithm R the result is independent of insertion order and two
+/// reservoirs merge losslessly (bottom-k of a union = bottom-k of the
+/// merged bottom-k sets), which is what lets per-fragment samplers built
+/// in any order agree bit-for-bit with a single-pass global sampler.
+class SpatialSampler {
+ public:
+  /// `salt` distinguishes streams (e.g. per fragment); rows are keyed by
+  /// the ordinal passed to Add, so the caller controls the sampling frame.
+  SpatialSampler(uint64_t seed, uint64_t salt, size_t capacity);
+
+  /// Offers row `ordinal`'s MBR to the reservoir.
+  void Add(uint64_t ordinal, const geom::Box& mbr);
+
+  /// Folds `other`'s reservoir into this one (ordinals must be from
+  /// disjoint frames or identical streams; priorities keep them fair).
+  void Merge(const SpatialSampler& other);
+
+  /// Rows offered so far (the population size the sample represents).
+  int64_t seen() const { return seen_; }
+
+  /// The sampled MBRs, in ascending priority order (deterministic).
+  std::vector<geom::Box> Samples() const;
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct Entry {
+    uint64_t priority;
+    uint64_t ordinal;
+    geom::Box mbr;
+  };
+  void Trim();
+
+  uint64_t seed_;
+  size_t capacity_;
+  int64_t seen_ = 0;
+  std::vector<Entry> entries_;  // kept <= 2*capacity, trimmed to capacity
+};
+
+/// Per-table optimizer statistics: a 2-D density histogram over the
+/// table's universe plus per-tile (histogram-cell) MBR/cardinality
+/// summaries, built from a SpatialSampler reservoir and scaled back to
+/// the true cardinality. Persisted in the catalog; invalidated whenever
+/// the table mutates, redeclusters, or a migration epoch bump changes
+/// its physical layout.
+struct HistogramStats {
+  /// Tight bounds and estimated rows for one histogram tile.
+  struct TileSummary {
+    geom::Box mbr;           // union of sampled MBRs referenced here
+    double est_rows = 0.0;   // sample count scaled to the table
+    friend bool operator==(const TileSummary&, const TileSummary&) = default;
+  };
+
+  std::string table;
+  geom::Box universe;        // histogram domain
+  size_t nx = 0, ny = 0;     // tiles per axis
+  int64_t total_rows = 0;    // table cardinality when built
+  int64_t sampled_rows = 0;  // reservoir size used
+  double avg_width = 0.0;    // mean sampled-MBR extents
+  double avg_height = 0.0;
+  uint64_t version = 0;      // bumped by the catalog on every rebuild
+  /// Estimated rows per tile, row-major (y * nx + x); rows land in the
+  /// tile containing their reference point (the MBR's clamped lower-left
+  /// corner — the same rule that picks a feature's primary copy).
+  std::vector<double> tile_rows;
+  std::vector<TileSummary> tiles;
+
+  bool empty() const { return nx == 0 || ny == 0; }
+  double tile_at(size_t x, size_t y) const { return tile_rows[y * nx + x]; }
+
+  /// max/mean estimated rows over non-empty tiles (the density-skew
+  /// feature the advisor keys on; 1.0 = perfectly even).
+  double DensitySkew() const;
+
+  /// Estimated rows whose reference point falls inside `b` (tiles are
+  /// counted by area overlap; a crude but monotone selectivity estimate).
+  double EstimateRows(const geom::Box& b) const;
+
+  friend bool operator==(const HistogramStats&, const HistogramStats&) =
+      default;
+};
+
+struct BuildHistogramOptions {
+  size_t tiles_per_axis = 64;
+};
+
+/// Builds the histogram from a reservoir: `samples` drawn from a table of
+/// `total_rows` rows over `universe`. Deterministic in its inputs.
+HistogramStats BuildHistogram(const std::string& table,
+                              const geom::Box& universe,
+                              const std::vector<geom::Box>& samples,
+                              int64_t total_rows,
+                              const BuildHistogramOptions& options = {});
+
+}  // namespace paradise::opt
+
+#endif  // PARADISE_OPT_STATS_H_

@@ -1,0 +1,248 @@
+// Sampling-driven optimizer statistics: the bottom-k reservoir's merge
+// and order invariance, histogram features, and the catalog stats
+// lifecycle — published at load, bit-identical at any thread count clean
+// or faulted, invalidated on mutation / salvage / migration cutover, and
+// republished by an explicit rebuild.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "core/cluster.h"
+#include "core/coordinator.h"
+#include "core/table.h"
+#include "core/topology.h"
+#include "datagen/datagen.h"
+#include "geom/box.h"
+#include "opt/stats.h"
+#include "sim/fault_injector.h"
+
+namespace paradise {
+namespace {
+
+using catalog::PartitioningKind;
+using catalog::TableDef;
+using core::Cluster;
+using core::ParallelTable;
+using core::QueryCoordinator;
+using core::TopologyManager;
+using exec::Tuple;
+using exec::TupleVec;
+using geom::Box;
+using opt::BuildHistogram;
+using opt::BuildHistogramOptions;
+using opt::HistogramStats;
+using opt::SpatialSampler;
+using sim::FaultInjector;
+
+#define ASSERT_OK(expr)                    \
+  do {                                     \
+    Status _s = (expr);                    \
+    ASSERT_TRUE(_s.ok()) << _s.ToString(); \
+  } while (0)
+
+Cluster::Options SmallClusterOptions() {
+  Cluster::Options o;
+  o.buffer_pool_frames = 512;
+  return o;
+}
+
+/// Clustered point MBRs, the adversarial shape the sampler must represent.
+std::vector<Box> ClusteredBoxes(uint64_t seed, int64_t count) {
+  datagen::ClusteredDataOptions copt;
+  copt.seed = seed;
+  copt.count = count;
+  copt.num_clusters = 3;
+  copt.skew = 0.9;
+  std::vector<Box> out;
+  for (const Tuple& t : datagen::GenerateUrbanPoints(copt)) {
+    out.push_back(t.at(datagen::col::kPlaceLocation).Mbr());
+  }
+  return out;
+}
+
+// ---------- SpatialSampler ----------
+
+TEST(SpatialSamplerTest, BottomKMergeAndOrderMatchGlobalPass) {
+  std::vector<Box> boxes = ClusteredBoxes(3, 2000);
+  SpatialSampler global(/*seed=*/5, /*salt=*/0, /*capacity=*/128);
+  for (size_t i = 0; i < boxes.size(); ++i) global.Add(i, boxes[i]);
+
+  // Per-fragment samplers over disjoint ordinal ranges, merged in an
+  // arbitrary order, must agree bit-for-bit with the single global pass.
+  SpatialSampler a(5, 0, 128), b(5, 0, 128), c(5, 0, 128);
+  for (size_t i = 0; i < boxes.size(); ++i) {
+    (i % 3 == 0 ? a : i % 3 == 1 ? b : c).Add(i, boxes[i]);
+  }
+  c.Merge(a);
+  c.Merge(b);
+  EXPECT_EQ(c.Samples(), global.Samples());
+  EXPECT_EQ(c.seen(), global.seen());
+
+  // Insertion order never matters (bottom-k, not Algorithm R).
+  SpatialSampler reversed(5, 0, 128);
+  for (size_t i = boxes.size(); i-- > 0;) reversed.Add(i, boxes[i]);
+  EXPECT_EQ(reversed.Samples(), global.Samples());
+}
+
+TEST(SpatialSamplerTest, SmallPopulationIsSampledExhaustively) {
+  std::vector<Box> boxes = ClusteredBoxes(9, 50);
+  SpatialSampler s(1, 0, 128);
+  for (size_t i = 0; i < boxes.size(); ++i) s.Add(i, boxes[i]);
+  EXPECT_EQ(s.Samples().size(), boxes.size());
+}
+
+// ---------- HistogramStats ----------
+
+TEST(HistogramStatsTest, SkewAndSelectivityFollowTheMass) {
+  Box universe(0, 0, 100, 100);
+  // 90 samples in one corner tile, 10 spread over another: the non-empty
+  // tile mean is 50, so max/mean must be 1.8.
+  std::vector<Box> samples;
+  for (int i = 0; i < 90; ++i) samples.push_back(Box(1, 1, 2, 2));
+  for (int i = 0; i < 10; ++i) samples.push_back(Box(98, 98, 99, 99));
+  BuildHistogramOptions hopt;
+  hopt.tiles_per_axis = 4;
+  HistogramStats h = BuildHistogram("t", universe, samples, 1000, hopt);
+  EXPECT_EQ(h.total_rows, 1000);
+  EXPECT_EQ(h.sampled_rows, 100);
+  EXPECT_DOUBLE_EQ(h.DensitySkew(), 1.8);
+  // Scaled back to the table cardinality, split 90/10.
+  EXPECT_NEAR(h.EstimateRows(universe), 1000.0, 1e-6);
+  EXPECT_NEAR(h.EstimateRows(Box(0, 0, 25, 25)), 900.0, 1e-6);
+  EXPECT_NEAR(h.EstimateRows(Box(75, 75, 100, 100)), 100.0, 1e-6);
+}
+
+// ---------- Catalog lifecycle on a live cluster ----------
+
+TableDef PlacesDef(const std::string& name, const Box& universe) {
+  TableDef def;
+  def.name = name;
+  def.schema = datagen::PlacesSchema();
+  def.partitioning = PartitioningKind::kSpatial;
+  def.partition_column = datagen::col::kPlaceLocation;
+  def.universe = universe;
+  return def;
+}
+
+TupleVec ClusteredPlaces(uint64_t seed, int64_t count) {
+  datagen::ClusteredDataOptions copt;
+  copt.seed = seed;
+  copt.count = count;
+  copt.num_clusters = 3;
+  copt.skew = 0.9;
+  return datagen::GenerateUrbanPoints(copt);
+}
+
+struct LoadedPlaces {
+  std::unique_ptr<Cluster> cluster;
+  std::unique_ptr<ParallelTable> table;
+};
+
+LoadedPlaces LoadPlaces(int num_threads, uint64_t seed = 11) {
+  LoadedPlaces out;
+  out.cluster = std::make_unique<Cluster>(4, SmallClusterOptions());
+  out.cluster->SetNumThreads(num_threads);
+  TupleVec rows = ClusteredPlaces(seed, 3000);
+  datagen::ClusteredDataOptions defaults;
+  auto t = ParallelTable::Load(out.cluster.get(),
+                               PlacesDef("places", defaults.universe), rows,
+                               /*tiles_per_axis=*/10);
+  EXPECT_TRUE(t.ok()) << t.status().ToString();
+  out.table = std::move(*t);
+  return out;
+}
+
+TEST(StatsLifecycleTest, LoadPublishesIdenticalHistogramAtAnyThreadCount) {
+  LoadedPlaces one = LoadPlaces(1);
+  LoadedPlaces eight = LoadPlaces(8);
+  const HistogramStats* h1 = one.cluster->catalog()->FindTableStats("places");
+  const HistogramStats* h8 =
+      eight.cluster->catalog()->FindTableStats("places");
+  ASSERT_NE(h1, nullptr);
+  ASSERT_NE(h8, nullptr);
+  EXPECT_EQ(*h1, *h8);
+  EXPECT_EQ(h1->total_rows, one.table->num_rows());
+  EXPECT_GT(h1->DensitySkew(), 1.5) << "clustered data should look skewed";
+}
+
+TEST(StatsLifecycleTest, RebuildIsIdenticalCleanAndFaultedAtAnyThreadCount) {
+  HistogramStats reference;
+  for (int pass = 0; pass < 4; ++pass) {
+    const int threads = pass % 2 == 0 ? 1 : 8;
+    const bool faulted = pass >= 2;
+    LoadedPlaces lp = LoadPlaces(threads);
+    // Cold pools: the rebuild's fragment scans must actually hit disk, or
+    // the injected read faults never fire.
+    lp.cluster->ResetForQuery();
+    FaultInjector inj(/*seed=*/77);
+    if (faulted) {
+      inj.set_transient_read_rate(0.05);
+      inj.set_torn_read_rate(0.02);
+      lp.cluster->SetFaultInjector(&inj);
+    }
+    ASSERT_OK(lp.table->RebuildStats(lp.cluster.get()));
+    lp.cluster->SetFaultInjector(nullptr);
+    const HistogramStats* h = lp.cluster->catalog()->FindTableStats("places");
+    ASSERT_NE(h, nullptr);
+    if (pass == 0) {
+      reference = *h;
+    } else {
+      EXPECT_EQ(*h, reference) << "threads=" << threads
+                               << " faulted=" << faulted;
+    }
+    if (faulted) {
+      EXPECT_GT(inj.stats().transient_read_faults + inj.stats().torn_read_faults,
+                0)
+          << "the faulted rebuild saw no faults — raise the rates";
+    }
+  }
+}
+
+TEST(StatsLifecycleTest, MutationInvalidatesStats) {
+  LoadedPlaces lp = LoadPlaces(1);
+  ASSERT_NE(lp.cluster->catalog()->FindTableStats("places"), nullptr);
+  QueryCoordinator coord(lp.cluster.get());
+  ASSERT_OK(coord.BeginQuery());
+  coord.NoteTableMutation("places");
+  EXPECT_EQ(lp.cluster->catalog()->FindTableStats("places"), nullptr);
+}
+
+TEST(StatsLifecycleTest, SalvageInvalidatesAndRebuildRepublishes) {
+  LoadedPlaces lp = LoadPlaces(1);
+  const uint64_t v0 = lp.cluster->catalog()->stats_versions();
+  ASSERT_NE(lp.cluster->catalog()->FindTableStats("places"), nullptr);
+
+  lp.cluster->MarkNodeDead(2);
+  ASSERT_OK(lp.table->SalvageDeadNode(lp.cluster.get(), 2));
+  EXPECT_EQ(lp.cluster->catalog()->FindTableStats("places"), nullptr);
+
+  ASSERT_OK(lp.table->RebuildStats(lp.cluster.get()));
+  const HistogramStats* h = lp.cluster->catalog()->FindTableStats("places");
+  ASSERT_NE(h, nullptr);
+  EXPECT_GT(lp.cluster->catalog()->stats_versions(), v0);
+  // Salvage preserves every logical row, and the rebuild counts primaries.
+  EXPECT_EQ(h->total_rows, lp.table->num_rows());
+}
+
+TEST(StatsLifecycleTest, MigrationCutoverInvalidatesStats) {
+  LoadedPlaces lp = LoadPlaces(1);
+  TopologyManager* topo = lp.cluster->topology();
+  topo->RegisterTable(lp.table.get());
+  ASSERT_NE(lp.cluster->catalog()->FindTableStats("places"), nullptr);
+
+  topo->AddNode();
+  EXPECT_GT(topo->pending_moves(), 0);
+  ASSERT_OK(topo->DrainMigration(0.0));
+  EXPECT_TRUE(topo->migration_idle());
+  EXPECT_EQ(lp.cluster->catalog()->FindTableStats("places"), nullptr)
+      << "a tile-migration cutover changed the layout; stats must drop";
+}
+
+}  // namespace
+}  // namespace paradise
