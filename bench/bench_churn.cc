@@ -25,6 +25,9 @@
 // Flags: --rounds=N       query-mix rounds per churn phase (default 2)
 //        --threads=N      host threads (digest must not change; default 1)
 //        --chaos          inject migration crashes
+//        --two-layer      decluster the vector tables with two-layer
+//                         begin classes (joins dedup-free) instead of
+//                         replicate-and-dedup
 //        --fault-seed=N   chaos seed (default 1; nightly uses the date)
 //        --json <path>    machine-readable report
 //        plus the usual sizing flags of BenchConfig (--quick etc.)
@@ -56,6 +59,7 @@ struct ChurnArgs {
   int rounds = 2;
   int threads = 1;
   bool chaos = false;
+  bool two_layer = false;
   uint64_t fault_seed = 1;
 
   static ChurnArgs FromArgs(int argc, char** argv) {
@@ -68,6 +72,8 @@ struct ChurnArgs {
         a.threads = std::atoi(arg + 10);
       } else if (std::strcmp(arg, "--chaos") == 0) {
         a.chaos = true;
+      } else if (std::strcmp(arg, "--two-layer") == 0) {
+        a.two_layer = true;
       } else if (std::strncmp(arg, "--fault-seed=", 13) == 0) {
         a.fault_seed = static_cast<uint64_t>(std::atoll(arg + 13));
       }
@@ -84,8 +90,9 @@ void Check(bool ok, const char* scenario, const char* what) {
   std::fprintf(stderr, "FAILED [%s]: %s\n", scenario, what);
   std::fprintf(stderr, "  fault seed: %llu\n",
                static_cast<unsigned long long>(g_args.fault_seed));
-  std::fprintf(stderr, "  repro: ./bench/bench_churn%s --fault-seed=%llu\n",
+  std::fprintf(stderr, "  repro: ./bench/bench_churn%s%s --fault-seed=%llu\n",
                g_args.chaos ? " --chaos" : "",
+               g_args.two_layer ? " --two-layer" : "",
                static_cast<unsigned long long>(g_args.fault_seed));
   std::exit(1);
 }
@@ -106,6 +113,7 @@ ChurnDb LoadChurnDb(const BenchConfig& cfg) {
       paradise::datagen::GenerateGlobalDataSet(cfg.MakeOptions(1));
   paradise::benchmark::LoadOptions lopts;
   lopts.tile_bytes = cfg.tile_bytes;
+  lopts.two_layer_vectors = g_args.two_layer;
   auto db = paradise::benchmark::BenchmarkDatabase::Load(out.cluster.get(),
                                                          ds, lopts);
   if (!db.ok()) {
@@ -287,8 +295,9 @@ int main(int argc, char** argv) {
   const std::vector<int> mix = {5, 13, 7};
   std::printf(
       "churn harness: 4 nodes, %d rounds/phase, threads=%d, chaos=%s, "
-      "fault seed %llu\n",
+      "decluster=%s, fault seed %llu\n",
       g_args.rounds, g_args.threads, g_args.chaos ? "on" : "off",
+      g_args.two_layer ? "two-layer" : "replicate",
       static_cast<unsigned long long>(g_args.fault_seed));
 
   std::vector<QueryPerfSample> samples;

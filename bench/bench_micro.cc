@@ -270,6 +270,7 @@ std::vector<paradise::bench::QueryPerfSample> RunSpatialJoinSection() {
   opts.num_partitions = 64;
 
   std::vector<paradise::bench::QueryPerfSample> samples;
+  size_t pbsm_rows = 0;
   auto run_pbsm = [&](const std::string& name, int threads) {
     paradise::common::ThreadPool pool(threads);
     paradise::sim::NodeClock clock;
@@ -283,10 +284,36 @@ std::vector<paradise::bench::QueryPerfSample> RunSpatialJoinSection() {
       std::fprintf(stderr, "%s failed\n", name.c_str());
       std::exit(1);
     }
+    pbsm_rows = r->size();
     samples.push_back({name, wall, model.Seconds(clock.EndPhase())});
   };
   run_pbsm("pbsm_join_1t", 1);
   run_pbsm("pbsm_join_8t", 8);
+
+  {
+    // Two-layer class mini-join plan on the same inputs: no dedup branch
+    // in the hot path, same result cardinality as replicate-and-dedup.
+    paradise::common::ThreadPool pool(8);
+    paradise::sim::NodeClock clock;
+    ExecContext ctx;
+    ctx.clock = &clock;
+    ctx.pool = &pool;
+    paradise::exec::PbsmJoinStats stats;
+    ctx.pbsm_stats = &stats;
+    paradise::exec::TwoLayerOptions two;
+    two.tiles_per_axis = 32;
+    two.num_tasks = 64;
+    Clock::time_point t0 = Clock::now();
+    auto r = paradise::exec::TwoLayerSpatialJoin(left, 1, right, 1, ctx, two);
+    double wall = std::chrono::duration<double>(Clock::now() - t0).count();
+    if (!r.ok() || r->size() != pbsm_rows || stats.dedup_tests != 0 ||
+        stats.dedup_dropped != 0) {
+      std::fprintf(stderr, "two_layer_join diverged from pbsm\n");
+      std::exit(1);
+    }
+    samples.push_back(
+        {"two_layer_join", wall, model.Seconds(clock.EndPhase())});
+  }
 
   {
     ExecContext no_charge;

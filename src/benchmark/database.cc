@@ -57,7 +57,9 @@ StatusOr<std::unique_ptr<BenchmarkDatabase>> BenchmarkDatabase::Load(
     TableDef def;
     def.name = "populatedPlaces";
     def.schema = datagen::PlacesSchema();
-    def.partitioning = PartitioningKind::kSpatial;
+    def.partitioning = options.two_layer_vectors
+                           ? PartitioningKind::kTwoLayer
+                           : PartitioningKind::kSpatial;
     def.partition_column = datagen::col::kPlaceLocation;
     def.universe = ds.universe;
     def.indexes = {IndexDef{"places_name", datagen::col::kPlaceName, false}};
@@ -70,7 +72,9 @@ StatusOr<std::unique_ptr<BenchmarkDatabase>> BenchmarkDatabase::Load(
     TableDef def;
     def.name = "roads";
     def.schema = datagen::RoadsSchema();
-    def.partitioning = PartitioningKind::kSpatial;
+    def.partitioning = options.two_layer_vectors
+                           ? PartitioningKind::kTwoLayer
+                           : PartitioningKind::kSpatial;
     def.partition_column = datagen::col::kLineShape;
     def.universe = ds.universe;
     def.indexes = {IndexDef{"roads_shape", datagen::col::kLineShape, true}};
@@ -82,7 +86,9 @@ StatusOr<std::unique_ptr<BenchmarkDatabase>> BenchmarkDatabase::Load(
     TableDef def;
     def.name = "drainage";
     def.schema = datagen::DrainageSchema();
-    def.partitioning = PartitioningKind::kSpatial;
+    def.partitioning = options.two_layer_vectors
+                           ? PartitioningKind::kTwoLayer
+                           : PartitioningKind::kSpatial;
     def.partition_column = datagen::col::kLineShape;
     def.universe = ds.universe;
     def.indexes = {IndexDef{"drainage_shape", datagen::col::kLineShape, true}};
@@ -95,7 +101,9 @@ StatusOr<std::unique_ptr<BenchmarkDatabase>> BenchmarkDatabase::Load(
     TableDef def;
     def.name = "landCover";
     def.schema = datagen::LandCoverSchema();
-    def.partitioning = PartitioningKind::kSpatial;
+    def.partitioning = options.two_layer_vectors
+                           ? PartitioningKind::kTwoLayer
+                           : PartitioningKind::kSpatial;
     def.partition_column = datagen::col::kLcShape;
     def.universe = ds.universe;
     def.indexes = {IndexDef{"landCover_shape", datagen::col::kLcShape, true}};

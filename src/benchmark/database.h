@@ -33,6 +33,10 @@ struct LoadOptions {
   /// Tile size for raster chunking.
   size_t tile_bytes = 8 * 1024;
   uint32_t tiles_per_axis = core::SpatialGrid::kDefaultTilesPerAxis;
+  /// Decluster the vector tables with two-layer begin classes instead of
+  /// replicate-and-dedup (same tile grid; joins skip the reference-point
+  /// dedup branch).
+  bool two_layer_vectors = false;
 };
 
 /// The loaded benchmark database: the five tables of Section 3.1.1,

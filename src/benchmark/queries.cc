@@ -369,7 +369,7 @@ StatusOr<QueryResult> RunQuery8(BenchmarkDatabase* db) {
               &visited);
           charger.ChargeVisits(visited);
           for (uint64_t row : candidates) {
-            if (!db->land_cover().IsPrimary(n, row)) continue;  // dedup
+            if (!db->land_cover().PrimaryFilter(n, row)) continue;  // dedup
             PARADISE_ASSIGN_OR_RETURN(Tuple lc,
                                       db->land_cover().FetchRow(cluster, n, row));
             PARADISE_ASSIGN_OR_RETURN(

@@ -484,6 +484,13 @@ exec::PbsmJoinStats QueryCoordinator::pbsm_stats() const {
     agg.sweep_pair_compares += s.sweep_pair_compares;
     agg.sweep_candidates += s.sweep_candidates;
     agg.exact_tests += s.exact_tests;
+    agg.dedup_tests += s.dedup_tests;
+    agg.dedup_dropped += s.dedup_dropped;
+    agg.class_a_items += s.class_a_items;
+    agg.class_b_items += s.class_b_items;
+    agg.class_c_items += s.class_c_items;
+    agg.class_d_items += s.class_d_items;
+    agg.replicated_entry_bytes += s.replicated_entry_bytes;
   }
   // Mean over *non-empty* partitions, matching the per-node definition —
   // dividing by total P would understate skew exactly when it matters

@@ -131,7 +131,7 @@ StatusOr<PerNode> ParallelSpatialIndexSelect(QueryCoordinator* coord,
           // Replica check first: the primary flag lives in the fragment
           // metadata, so skipping a replica must not cost a page fetch
           // (otherwise modeled I/O inflates with the replication factor).
-          if (!table.IsPrimary(n, row)) continue;
+          if (!table.PrimaryFilter(n, row)) continue;
           PARADISE_ASSIGN_OR_RETURN(Tuple t, table.FetchRow(cluster, n, row));
           if (exact_pred != nullptr) {
             PARADISE_ASSIGN_OR_RETURN(bool keep,
@@ -173,7 +173,7 @@ StatusOr<PerNode> ParallelIndexSelectString(QueryCoordinator* coord,
         PARADISE_RETURN_IF_ERROR(
             ChargeBTreeProbe(cluster->node(n).clock(), it->second.height()));
         for (uint64_t row : it->second.Find(key)) {
-          if (!table.IsPrimary(n, row)) continue;
+          if (!table.PrimaryFilter(n, row)) continue;
           PARADISE_ASSIGN_OR_RETURN(Tuple t, table.FetchRow(cluster, n, row));
           out[n].push_back(std::move(t));
         }
@@ -213,7 +213,7 @@ StatusOr<PerNode> ParallelIndexSelectIntRange(QueryCoordinator* coord,
           clock->ChargeDiskRead(leaves * storage::kPageSize, 1);
         }
         for (uint64_t row : rows) {
-          if (!table.IsPrimary(n, row)) continue;
+          if (!table.PrimaryFilter(n, row)) continue;
           PARADISE_ASSIGN_OR_RETURN(Tuple t, table.FetchRow(cluster, n, row));
           out[n].push_back(std::move(t));
         }
@@ -399,7 +399,13 @@ StatusOr<PerNode> ParallelSpatialJoin(QueryCoordinator* coord,
     features.right_skew = rstats != nullptr ? rstats->DensitySkew() : 1.0;
     decision = opts.override_decision != nullptr
                    ? *opts.override_decision
-                   : cluster->join_advisor()->Choose(features);
+                   : cluster->join_advisor()->Choose(features, opts.two_layer);
+    if (opts.two_layer && decision.method != opt::JoinMethod::kPbsm) {
+      // The class mini-join plan is a property of the partition join;
+      // index nested loops cannot exploit it, so two-layer always runs
+      // the partition plan.
+      decision.method = opt::JoinMethod::kPbsm;
+    }
     if (decision.method == opt::JoinMethod::kPbsm) {
       if (decision.cells_per_axis > 0) {
         pbsm.cells_per_axis = decision.cells_per_axis;
@@ -436,17 +442,53 @@ StatusOr<PerNode> ParallelSpatialJoin(QueryCoordinator* coord,
     }
   }
   auto dedup_into = [&](int n, TupleVec joined) {
+    // Every cross-node joined tuple pays a reference-point test; the
+    // per-node sink tallies them (and the duplicates they drop) so the
+    // replicate-and-dedup cost is observable next to the two-layer path's
+    // guaranteed zeros.
+    exec::PbsmJoinStats* sink = coord->node_pbsm_stats(n);
+    sink->dedup_tests += static_cast<int64_t>(joined.size());
     for (Tuple& t : joined) {
       Box lb = t.at(left_col).Mbr();
       Box rb = t.at(left_width + right_col).Mbr();
       Point rp = grid.ClampToUniverse(
           Point{std::max(lb.xmin, rb.xmin), std::max(lb.ymin, rb.ymin)});
-      if (grid.NodeOfPoint(rp) != static_cast<uint32_t>(n)) continue;
+      if (grid.NodeOfPoint(rp) != static_cast<uint32_t>(n)) {
+        ++sink->dedup_dropped;
+        continue;
+      }
       out[n].push_back(std::move(t));
     }
   };
   const size_t phases_before = coord->phases().size();
-  if (!use_inl) {
+  if (opts.two_layer) {
+    // Two-layer class mini-join plan: each node sweeps only the tiles it
+    // owns, every pair is emitted exactly once at the tile holding the
+    // intersection's reference point — which the replica-completeness
+    // invariant guarantees this node stores both sides of. No dedup
+    // filter runs, here or per partition.
+    PARADISE_RETURN_IF_ERROR(
+        coord->RunPhase("two-layer join", [&](int n) -> Status {
+          NodeExecContext nc = MakeNodeContext(cluster, n);
+          nc.ctx.pbsm_stats = coord->node_pbsm_stats(n);
+          std::vector<uint8_t> owned(grid.num_tiles(), 0);
+          for (uint32_t t = 0; t < grid.num_tiles(); ++t) {
+            owned[t] = grid.NodeOfTile(t) == static_cast<uint32_t>(n) ? 1 : 0;
+          }
+          exec::TwoLayerOptions two;
+          two.tiles_per_axis = grid.tiles_per_axis();
+          two.universe = grid.universe();
+          two.owned = &owned;
+          two.num_tasks = std::max<size_t>(1, pbsm.num_partitions);
+          two.group_packer = &opt::PackTileGroups;
+          PARADISE_ASSIGN_OR_RETURN(
+              out[n],
+              exec::TwoLayerSpatialJoin(left_placed[n], left_col,
+                                        right_placed[n], right_col, nc.ctx,
+                                        two));
+          return Status::OK();
+        }));
+  } else if (!use_inl) {
     PARADISE_RETURN_IF_ERROR(
         coord->RunPhase("pbsm join", [&](int n) -> Status {
           NodeExecContext nc = MakeNodeContext(cluster, n);
@@ -492,6 +534,7 @@ StatusOr<PerNode> ParallelSpatialJoin(QueryCoordinator* coord,
     opt::JoinObservation obs;
     obs.features = features;
     obs.method = decision.method;
+    obs.two_layer = opts.two_layer;
     obs.modeled_seconds = observed;
     if (!use_inl) {
       obs.stats = coord->pbsm_stats();

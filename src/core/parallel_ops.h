@@ -115,6 +115,14 @@ struct ParallelSpatialJoinOptions {
   /// canonical table's reassignments when the geometry matches, dead
   /// nodes rehashed) instead of deriving liveness onto a local copy.
   const SpatialGrid* routing_grid = nullptr;
+  /// Run the two-layer class mini-join plan (kTwoLayer tables): each node
+  /// joins only its owned tiles' class pairs via exec::TwoLayerSpatialJoin
+  /// — no reference-point duplicate elimination anywhere (the per-node
+  /// dedup_tests/dedup_dropped counters stay 0) and no cross-node result
+  /// filter. Results are bit-identical to the legacy replicate-and-dedup
+  /// path on the same grid. Two-layer joins always run the partition plan;
+  /// an adaptive decision for index nested loops falls back to it.
+  bool two_layer = false;
 
   // -- Adaptive mode (off by default: the fixed path is the
   //    paper-reproduction ablation control and stays bit-identical) ------

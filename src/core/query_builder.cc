@@ -311,7 +311,25 @@ StatusOr<PerNode> Query::ExecuteJoin(QueryCoordinator* coord,
                                      const PerNode& outer) const {
   Cluster* cluster = coord->cluster();
   if (jc.algo == JoinChoice::kBroadcastIndexNL) {
-    PARADISE_ASSIGN_OR_RETURN(PerNode everywhere, Broadcast(coord, outer));
+    const bool two_layer =
+        jc.right->def().partitioning == catalog::PartitioningKind::kTwoLayer;
+    const SpatialGrid& grid = jc.right->grid();
+    PerNode everywhere;
+    if (two_layer) {
+      // Targeted multicast: a two-layer inner is declustered on its grid,
+      // so each probe only needs to visit the nodes whose tiles its MBR
+      // overlaps — the reference-point rule below then emits each
+      // qualifying pair exactly once. Far fewer probe copies cross the
+      // network than a broadcast.
+      PARADISE_ASSIGN_OR_RETURN(
+          everywhere,
+          Redistribute(coord, outer,
+                       [&](const Tuple& t, std::vector<uint32_t>* dest) {
+                         *dest = grid.NodesOfBox(t.at(jc.left_column).Mbr());
+                       }));
+    } else {
+      PARADISE_ASSIGN_OR_RETURN(everywhere, Broadcast(coord, outer));
+    }
     PerNode out(cluster->num_nodes());
     PARADISE_RETURN_IF_ERROR(
         coord->RunPhase("index NL spatial join", [&](int n) -> Status {
@@ -320,22 +338,40 @@ StatusOr<PerNode> Query::ExecuteJoin(QueryCoordinator* coord,
             return Status::FailedPrecondition("inner lost its index");
           }
           NodeExecContext nc = MakeNodeContext(cluster, n);
+          exec::PbsmJoinStats* sink = coord->node_pbsm_stats(n);
           exec::IndexProbeCharger charger(nc.ctx, frag.rtree->num_nodes());
           for (const Tuple& o : everywhere[n]) {
             geom::Box probe = o.at(jc.left_column).Mbr();
             nc.ctx.ChargeCpu(sim::cpu_cost::kIndexProbe);
             int64_t visited = 0;
-            std::vector<uint64_t> rows;
+            std::vector<std::pair<geom::Box, uint64_t>> hits;
             frag.rtree->SearchOverlap(
                 probe,
-                [&](const geom::Box&, uint64_t row) {
-                  rows.push_back(row);
+                [&](const geom::Box& b, uint64_t row) {
+                  hits.emplace_back(b, row);
                   return true;
                 },
                 &visited);
             charger.ChargeVisits(visited);
-            for (uint64_t row : rows) {
-              if (!jc.right->IsPrimary(n, row)) continue;  // dedup replicas
+            for (const auto& [ibox, row] : hits) {
+              ++sink->dedup_tests;
+              bool keep;
+              if (two_layer) {
+                // Emit at the node owning the tile of the intersection's
+                // reference point — each pair qualifies at exactly one
+                // node, and that node both received the probe (its tile
+                // overlaps the probe MBR) and stores the inner replica.
+                geom::Point rp = grid.ClampToUniverse(
+                    geom::Point{std::max(probe.xmin, ibox.xmin),
+                                std::max(probe.ymin, ibox.ymin)});
+                keep = grid.NodeOfPoint(rp) == static_cast<uint32_t>(n);
+              } else {
+                keep = jc.right->PrimaryFilter(n, row);  // dedup replicas
+              }
+              if (!keep) {
+                ++sink->dedup_dropped;
+                continue;
+              }
               PARADISE_ASSIGN_OR_RETURN(Tuple inner,
                                         jc.right->FetchRow(cluster, n, row));
               PARADISE_ASSIGN_OR_RETURN(
@@ -359,7 +395,10 @@ StatusOr<PerNode> Query::ExecuteJoin(QueryCoordinator* coord,
                             ParallelScanAll(coord, *jc.right, nullptr));
   ParallelSpatialJoinOptions opts;
   opts.right_predeclustered =
-      jc.right->def().partitioning == catalog::PartitioningKind::kSpatial;
+      catalog::IsSpatialPartitioning(jc.right->def().partitioning);
+  opts.two_layer =
+      jc.right->def().partitioning == catalog::PartitioningKind::kTwoLayer;
+  if (opts.two_layer) opts.routing_grid = &jc.right->grid();
   opts.tiles_per_axis = opts.right_predeclustered
                             ? jc.right->grid().tiles_per_axis()
                             : SpatialGrid::kDefaultTilesPerAxis;

@@ -153,12 +153,62 @@ class SpatialGrid {
     return geom::Box(x0, y1 - h, x0 + w, y1);
   }
 
+  /// Cell-index rectangle of a box: columns [cx0, cx1], rows [cy0, cy1].
+  /// Rows are numbered downward from ymax, so cy0 is the row holding
+  /// b.ymax and cy1 the row holding b.ymin — the *begin* tile (the one
+  /// containing the reference point) is (cx0, cy1).
+  struct CellRange {
+    uint32_t cx0 = 0, cx1 = 0;
+    uint32_t cy0 = 0, cy1 = 0;
+  };
+  CellRange RangeOfBox(const geom::Box& b) const {
+    CellRange r;
+    r.cx0 = CoordToCell(b.xmin - universe_.xmin, universe_.Width());
+    r.cx1 = CoordToCell(b.xmax - universe_.xmin, universe_.Width());
+    r.cy0 = CoordToCell(universe_.ymax - b.ymax, universe_.Height());
+    r.cy1 = CoordToCell(universe_.ymax - b.ymin, universe_.Height());
+    return r;
+  }
+
+  /// Two-layer begin class of one (feature, tile) pair: A when the tile
+  /// holds the MBR's reference point, B when the MBR spilled in along x
+  /// only (begins in an earlier column of the same row), C along y only,
+  /// D along both. Values match exec::TileClass (0..3).
+  enum TileClass : uint8_t { kClassA = 0, kClassB = 1, kClassC = 2,
+                             kClassD = 3 };
+  uint8_t ClassAt(uint32_t tile, const CellRange& r) const {
+    uint32_t cx = tile % tiles_per_axis_;
+    uint32_t cy = tile / tiles_per_axis_;
+    const bool x_spilled = cx != r.cx0;  // begins in an earlier column
+    const bool y_spilled = cy != r.cy1;  // begins in a lower row
+    return static_cast<uint8_t>((x_spilled ? 1 : 0) | (y_spilled ? 2 : 0));
+  }
+
+  /// CopyClassAt's "the node owns no overlapped tile" answer — a staged
+  /// migration copy before its grid cutover, for example.
+  static constexpr uint8_t kNoOwnedTile = 0xff;
+
+  /// Strongest (A < B < C < D) class among `node`'s owned tiles that `b`
+  /// overlaps — the class stored with the replica at that node, or
+  /// kNoOwnedTile when the node owns none of them. A iff the node owns
+  /// the begin tile, i.e. iff it holds the primary copy.
+  uint8_t CopyClassAt(uint32_t node, const geom::Box& b) const {
+    CellRange r = RangeOfBox(b);
+    uint8_t best = kNoOwnedTile;
+    for (uint32_t cy = r.cy0; cy <= r.cy1; ++cy) {
+      for (uint32_t cx = r.cx0; cx <= r.cx1; ++cx) {
+        uint32_t tile = cy * tiles_per_axis_ + cx;
+        if (NodeOfTile(tile) != node) continue;
+        best = std::min(best, ClassAt(tile, r));
+      }
+    }
+    return best;
+  }
+
   /// All tiles a box overlaps (the replication set).
   std::vector<uint32_t> TilesOfBox(const geom::Box& b) const {
-    uint32_t cx0 = CoordToCell(b.xmin - universe_.xmin, universe_.Width());
-    uint32_t cx1 = CoordToCell(b.xmax - universe_.xmin, universe_.Width());
-    uint32_t cy0 = CoordToCell(universe_.ymax - b.ymax, universe_.Height());
-    uint32_t cy1 = CoordToCell(universe_.ymax - b.ymin, universe_.Height());
+    CellRange rg = RangeOfBox(b);
+    uint32_t cx0 = rg.cx0, cx1 = rg.cx1, cy0 = rg.cy0, cy1 = rg.cy1;
     std::vector<uint32_t> tiles;
     tiles.reserve(static_cast<size_t>(cx1 - cx0 + 1) * (cy1 - cy0 + 1));
     for (uint32_t cy = cy0; cy <= cy1; ++cy) {

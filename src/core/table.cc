@@ -24,22 +24,36 @@ uint32_t ParallelTable::next_file_id_ = 1;
 
 namespace {
 
-ByteBuffer EncodeRow(const Tuple& tuple, bool primary) {
+/// Record flag byte: bit 0 = primary, bits 1..2 = two-layer begin class.
+/// Legacy decluster modes always write class 0, so their flag byte stays
+/// the exact 0/1 it has always been.
+uint8_t FlagByte(bool primary, uint8_t cls) {
+  return static_cast<uint8_t>((cls << 1) | (primary ? 1 : 0));
+}
+
+ByteBuffer EncodeRow(const Tuple& tuple, bool primary, uint8_t cls = 0) {
   ByteBuffer out;
   ByteWriter w(&out);
-  w.PutU8(primary ? 1 : 0);
+  w.PutU8(FlagByte(primary, cls));
   tuple.Serialize(&w);
   return out;
 }
 
 Tuple DecodeRow(const ByteBuffer& record, bool* primary) {
   ByteReader r(record);
-  *primary = r.GetU8() != 0;
+  *primary = (r.GetU8() & 1) != 0;
   return Tuple::Deserialize(&r);
 }
 
+/// Class bits of a stored record's flag byte.
+uint8_t RecordClass(const ByteBuffer& record) {
+  PARADISE_CHECK(!record.empty());
+  return static_cast<uint8_t>(record[0] >> 1);
+}
+
 /// Content key of a stored record: the serialized tuple without the
-/// primary flag, so a primary copy and its replicas compare equal.
+/// flag byte, so a primary copy and its replicas — whatever their class
+/// bits — compare equal.
 std::string RecordKey(const ByteBuffer& record) {
   PARADISE_CHECK(!record.empty());
   return std::string(record.begin() + 1, record.end());
@@ -72,7 +86,7 @@ StatusOr<std::unique_ptr<ParallelTable>> ParallelTable::Load(
   int num_nodes = cluster->num_nodes();
 
   // Spatial declustering needs a universe; compute it if absent.
-  if (def.partitioning == catalog::PartitioningKind::kSpatial) {
+  if (catalog::IsSpatialPartitioning(def.partitioning)) {
     if (def.universe.IsEmpty()) {
       for (const Tuple& t : rows) {
         def.universe.ExpandToInclude(t.at(def.partition_column).Mbr());
@@ -118,23 +132,35 @@ StatusOr<std::unique_ptr<ParallelTable>> ParallelTable::Load(
             row.at(def.partition_column).Hash() % num_nodes);
         destinations.push_back(primary_node);
         break;
-      case catalog::PartitioningKind::kSpatial: {
+      case catalog::PartitioningKind::kSpatial:
+      case catalog::PartitioningKind::kTwoLayer: {
         geom::Box mbr = row.at(def.partition_column).Mbr();
         destinations = table->grid_.NodesOfBox(mbr);
         primary_node = table->grid_.PrimaryNode(mbr);
         break;
       }
     }
+    const bool two_layer =
+        def.partitioning == catalog::PartitioningKind::kTwoLayer;
     for (uint32_t n : destinations) {
       Fragment& frag = *table->fragments_[n];
       bool primary = (n == primary_node);
-      ByteBuffer record = EncodeRow(row, primary);
+      uint8_t cls = 0;
+      if (two_layer) {
+        cls = table->grid_.CopyClassAt(n, row.at(def.partition_column).Mbr());
+        // Every destination owns an overlapped tile by construction, and
+        // the begin tile's owner is exactly the primary node.
+        PARADISE_CHECK(cls != SpatialGrid::kNoOwnedTile);
+        PARADISE_CHECK((cls == SpatialGrid::kClassA) == primary);
+      }
+      ByteBuffer record = EncodeRow(row, primary, cls);
       PARADISE_CHECK_MSG(record.size() <= storage::HeapFile::MaxRecordSize(),
                          "tuple exceeds page capacity; use LOB attributes");
       PARADISE_ASSIGN_OR_RETURN(storage::Oid oid,
                                 frag.file->Insert(nullptr, record));
       frag.oids.push_back(oid);
       frag.primary.push_back(primary ? 1 : 0);
+      if (two_layer) frag.cls.push_back(cls);
     }
   }
 
@@ -194,8 +220,7 @@ StatusOr<std::unique_ptr<ParallelTable>> ParallelTable::Load(
   // Deliberately uncharged — the rows are in hand during load, so
   // sampling them costs no modeled I/O and leaves load times of the
   // paper-reproduction tables untouched.
-  if (def.partitioning == catalog::PartitioningKind::kSpatial &&
-      !rows.empty()) {
+  if (catalog::IsSpatialPartitioning(def.partitioning) && !rows.empty()) {
     opt::SpatialSampler sampler(StatsSeedFor(def.name), /*salt=*/0,
                                 StatsSampleCapacity(rows.size()));
     for (size_t i = 0; i < rows.size(); ++i) {
@@ -211,7 +236,7 @@ StatusOr<std::unique_ptr<ParallelTable>> ParallelTable::Load(
 }
 
 Status ParallelTable::RebuildStats(Cluster* cluster) {
-  if (def_.partitioning != catalog::PartitioningKind::kSpatial) {
+  if (!catalog::IsSpatialPartitioning(def_.partitioning)) {
     return Status::OK();
   }
   // Charged fragment scans (primaries only — replicas would double-count
@@ -248,6 +273,17 @@ int64_t ParallelTable::num_stored() const {
   int64_t n = 0;
   for (const auto& f : fragments_) n += f->num_live();
   return n;
+}
+
+std::array<int64_t, 4> ParallelTable::ClassCounts() const {
+  std::array<int64_t, 4> counts{};
+  for (const auto& f : fragments_) {
+    for (uint64_t r = 0; r < f->oids.size(); ++r) {
+      if (!f->row_live(r)) continue;
+      ++counts[f->row_class(r) & 3];
+    }
+  }
+  return counts;
 }
 
 StatusOr<TupleVec> ParallelTable::ScanFragment(Cluster* cluster, int node,
@@ -364,16 +400,28 @@ StatusOr<ParallelTable::InsertOutcome> ParallelTable::InsertMigratedRow(
       reencode = true;
     }
   }
+  uint8_t cls = 0;
+  if (def_.partitioning == catalog::PartitioningKind::kTwoLayer) {
+    cls = grid_.CopyClassAt(static_cast<uint32_t>(node),
+                            local.at(def_.partition_column).Mbr());
+    // A staged pre-cutover copy lands at a node that owns no overlapped
+    // tile yet; park it in the weakest class (never A: it is not the
+    // primary) until the cutover's flag refresh assigns the real one.
+    if (cls == SpatialGrid::kNoOwnedTile) cls = SpatialGrid::kClassD;
+  }
   if (reencode) {
-    rec = EncodeRow(local, make_primary);
+    rec = EncodeRow(local, make_primary, cls);
   } else {
     rec = record;
-    rec[0] = make_primary ? 1 : 0;
+    rec[0] = FlagByte(make_primary, cls);
   }
   Fragment& frag = *fragments_[node];
   PARADISE_ASSIGN_OR_RETURN(storage::Oid oid, frag.file->Insert(nullptr, rec));
   frag.oids.push_back(oid);
   frag.primary.push_back(make_primary ? 1 : 0);
+  if (def_.partitioning == catalog::PartitioningKind::kTwoLayer) {
+    frag.cls.push_back(cls);
+  }
   if (!frag.live.empty()) frag.live.push_back(1);
   const uint64_t r = frag.oids.size() - 1;
   sim::NodeClock* clock = cluster->node(node).clock();
@@ -410,12 +458,39 @@ Status ParallelTable::SetRowPrimary(Cluster* cluster, int node, uint64_t row,
                                     bool primary) {
   // Flip the flag byte of the *stored* record: the caller's staged bytes
   // may have been re-encoded on insert (raster deep copies), so they are
-  // not a valid in-place-update template here.
+  // not a valid in-place-update template here. Class bits are preserved;
+  // RefreshRowFlags is the path that recomputes them.
   Fragment& frag = *fragments_[node];
   PARADISE_ASSIGN_OR_RETURN(ByteBuffer rec, frag.file->Get(frag.oids[row]));
-  rec[0] = primary ? 1 : 0;
+  rec[0] = FlagByte(primary, RecordClass(rec));
   PARADISE_RETURN_IF_ERROR(frag.file->Update(nullptr, frag.oids[row], rec));
   frag.primary[row] = primary ? 1 : 0;
+  cluster->node(node).clock()->ChargeCpu(sim::cpu_cost::kTupleOverhead);
+  return Status::OK();
+}
+
+Status ParallelTable::RefreshRowFlags(Cluster* cluster, int node,
+                                      uint64_t row, const geom::Box& mbr) {
+  Fragment& frag = *fragments_[node];
+  const bool want_primary =
+      grid_.PrimaryNode(mbr) == static_cast<uint32_t>(node);
+  uint8_t want_cls = 0;
+  if (def_.partitioning == catalog::PartitioningKind::kTwoLayer) {
+    want_cls = grid_.CopyClassAt(static_cast<uint32_t>(node), mbr);
+    // Rows kept only until orphan GC (the node owns no overlapped tile
+    // anymore) stay in the weakest non-primary class.
+    if (want_cls == SpatialGrid::kNoOwnedTile) want_cls = SpatialGrid::kClassD;
+    if (frag.cls.size() <= row) frag.cls.resize(row + 1, 0);
+  }
+  if ((frag.primary[row] != 0) == want_primary &&
+      frag.row_class(row) == want_cls) {
+    return Status::OK();  // byte already right: no write, no charge
+  }
+  PARADISE_ASSIGN_OR_RETURN(ByteBuffer rec, frag.file->Get(frag.oids[row]));
+  rec[0] = FlagByte(want_primary, want_cls);
+  PARADISE_RETURN_IF_ERROR(frag.file->Update(nullptr, frag.oids[row], rec));
+  frag.primary[row] = want_primary ? 1 : 0;
+  if (!frag.cls.empty()) frag.cls[row] = want_cls;
   cluster->node(node).clock()->ChargeCpu(sim::cpu_cost::kTupleOverhead);
   return Status::OK();
 }
@@ -432,8 +507,7 @@ Status ParallelTable::SalvageDeadNode(Cluster* cluster, int dead_node) {
   const std::vector<int> survivors = cluster->alive_node_ids();
   PARADISE_CHECK(!survivors.empty());
 
-  const bool spatial =
-      def_.partitioning == catalog::PartitioningKind::kSpatial;
+  const bool spatial = catalog::IsSpatialPartitioning(def_.partitioning);
 
   // The tiles whose *pre-death* owner was the dead node: resolved through
   // planned reassignments but before the dead rehash. Materializing the
@@ -522,8 +596,14 @@ Status ParallelTable::SalvageDeadNode(Cluster* cluster, int dead_node) {
           int64_t r = claims_it->second.Claim(RecordKey(s.record));
           if (r >= 0) {
             // The survivor already holds a replica; keep it and, when the
-            // dead node held the primary copy, promote it in place.
-            if (make_primary) {
+            // dead node held the primary copy, promote it in place. Under
+            // kTwoLayer the survivor may also have gained a
+            // stronger-class tile, so the whole flag byte is refreshed.
+            if (def_.partitioning == catalog::PartitioningKind::kTwoLayer) {
+              PARADISE_RETURN_IF_ERROR(RefreshRowFlags(
+                  cluster, d, static_cast<uint64_t>(r),
+                  s.tuple.at(def_.partition_column).Mbr()));
+            } else if (make_primary) {
               PARADISE_RETURN_IF_ERROR(
                   SetRowPrimary(cluster, d, static_cast<uint64_t>(r), true));
             }
@@ -554,6 +634,7 @@ Status ParallelTable::SalvageDeadNode(Cluster* cluster, int dead_node) {
   }
   dead.oids.clear();
   dead.primary.clear();
+  dead.cls.clear();
   dead.live.clear();
   dead.rtree.reset();
   dead.string_indexes.clear();
@@ -583,7 +664,7 @@ Status ParallelTable::EnsureFragments(Cluster* cluster) {
 
 StatusOr<ParallelTable::StagedMove> ParallelTable::StageTileRows(
     Cluster* cluster, uint32_t tile, int source, int target) {
-  PARADISE_CHECK(def_.partitioning == catalog::PartitioningKind::kSpatial);
+  PARADISE_CHECK(catalog::IsSpatialPartitioning(def_.partitioning));
   StagedMove st;
   st.tile = tile;
   st.source = source;
@@ -668,7 +749,7 @@ StatusOr<ParallelTable::StagedMove> ParallelTable::StageTileRows(
 StatusOr<ParallelTable::StagedMove> ParallelTable::StageStripeRows(
     Cluster* cluster, int source, int target, size_t stripe_index,
     size_t stripe_count) {
-  PARADISE_CHECK(def_.partitioning != catalog::PartitioningKind::kSpatial);
+  PARADISE_CHECK(!catalog::IsSpatialPartitioning(def_.partitioning));
   PARADISE_CHECK(stripe_count > 0 && stripe_index < stripe_count);
   StagedMove st;
   st.source = source;
@@ -705,10 +786,20 @@ Status ParallelTable::UnstageMove(Cluster* cluster, const StagedMove& st) {
 StatusOr<ParallelTable::CutoverResult> ParallelTable::CutoverMove(
     Cluster* cluster, const StagedMove& st) {
   CutoverResult res;
-  const bool spatial =
-      def_.partitioning == catalog::PartitioningKind::kSpatial;
+  const bool spatial = catalog::IsSpatialPartitioning(def_.partitioning);
+  const bool two_layer =
+      def_.partitioning == catalog::PartitioningKind::kTwoLayer;
   Fragment& tgt = *fragments_[st.target];
   for (const StagedRowRef& ref : st.target_rows) {
+    if (two_layer) {
+      // The grid already points at the new owner: recompute the whole
+      // flag byte (primary bit + begin class) of every copy the move
+      // relies on. No-op (and no charge) when nothing changed — the
+      // exact condition the legacy primary-only update uses.
+      PARADISE_RETURN_IF_ERROR(
+          RefreshRowFlags(cluster, st.target, ref.row, ref.mbr));
+      continue;
+    }
     const bool want =
         spatial ? grid_.PrimaryNode(ref.mbr) == static_cast<uint32_t>(st.target)
                 : true;
@@ -730,7 +821,10 @@ StatusOr<ParallelTable::CutoverResult> ParallelTable::CutoverMove(
         }
       }
     }
-    if ((src.primary[ref.row] != 0) != want) {
+    if (two_layer) {
+      PARADISE_RETURN_IF_ERROR(
+          RefreshRowFlags(cluster, st.source, ref.row, ref.mbr));
+    } else if ((src.primary[ref.row] != 0) != want) {
       PARADISE_RETURN_IF_ERROR(
           SetRowPrimary(cluster, st.source, ref.row, want));
     }
@@ -750,6 +844,7 @@ Status ParallelTable::DropRows(Cluster* cluster, int node,
     PARADISE_RETURN_IF_ERROR(frag.file->Delete(nullptr, frag.oids[r]));
     frag.live[r] = 0;
     frag.primary[r] = 0;
+    if (!frag.cls.empty()) frag.cls[r] = 0;
     clock->ChargeCpu(sim::cpu_cost::kTupleOverhead);
   }
   return Status::OK();
@@ -757,8 +852,7 @@ Status ParallelTable::DropRows(Cluster* cluster, int node,
 
 StatusOr<int64_t> ParallelTable::DropOrphanedRows(
     Cluster* cluster, int node, const std::vector<uint64_t>& rows) {
-  const bool spatial =
-      def_.partitioning == catalog::PartitioningKind::kSpatial;
+  const bool spatial = catalog::IsSpatialPartitioning(def_.partitioning);
   Fragment& frag = *fragments_[node];
   sim::NodeClock* clock = cluster->node(node).clock();
   std::vector<uint64_t> doomed;
@@ -791,8 +885,9 @@ StatusOr<int64_t> ParallelTable::DropOrphanedRows(
 }
 
 Status ParallelTable::ValidateOwnership(Cluster* cluster) const {
-  const bool spatial =
-      def_.partitioning == catalog::PartitioningKind::kSpatial;
+  const bool spatial = catalog::IsSpatialPartitioning(def_.partitioning);
+  const bool two_layer =
+      def_.partitioning == catalog::PartitioningKind::kTwoLayer;
   int64_t primaries = 0;
   // (key, mbr) of every primary copy, for the replica-completeness pass.
   std::vector<std::pair<std::string, geom::Box>> primary_keys;
@@ -824,6 +919,28 @@ Status ParallelTable::ValidateOwnership(Cluster* cluster) const {
         if (want != flag) {
           return Status::Internal(
               "ownership audit: primary flag disagrees with grid owner");
+        }
+        if (two_layer) {
+          if (frag.row_class(r) != RecordClass(rec)) {
+            return Status::Internal("ownership audit: class vector out of "
+                                    "sync with stored record");
+          }
+          const uint8_t want_cls =
+              grid_.CopyClassAt(static_cast<uint32_t>(n), mbr);
+          // Rows kept only until orphan GC carry the parked class D;
+          // rows at a tile owner must carry the grid's class, and class
+          // A must coincide with the primary flag.
+          const uint8_t expect = want_cls == SpatialGrid::kNoOwnedTile
+                                     ? SpatialGrid::kClassD
+                                     : want_cls;
+          if (frag.row_class(r) != expect) {
+            return Status::Internal(
+                "ownership audit: stored class disagrees with grid");
+          }
+          if ((frag.row_class(r) == SpatialGrid::kClassA) != flag) {
+            return Status::Internal(
+                "ownership audit: class A does not match the primary flag");
+          }
         }
         node_keys[n].insert(RecordKey(rec));
         if (flag) primary_keys.emplace_back(RecordKey(rec), mbr);

@@ -1,6 +1,7 @@
 #ifndef PARADISE_CORE_TABLE_H_
 #define PARADISE_CORE_TABLE_H_
 
+#include <array>
 #include <map>
 #include <memory>
 #include <string>
@@ -22,13 +23,20 @@ namespace paradise::core {
 /// tables replicate tuples that span tiles mapped to multiple nodes; each
 /// replica carries a *primary* flag (true at the node owning the tuple's
 /// reference-point tile), which non-spatial operations use to avoid
-/// double-counting.
+/// double-counting. kTwoLayer tables store the same replication set but
+/// additionally keep each copy's two-layer begin class
+/// (SpatialGrid::CopyClassAt) in the upper bits of the record flag byte,
+/// so class-partitioned joins can skip reference-point dedup entirely.
 class ParallelTable {
  public:
   struct Fragment {
     std::unique_ptr<storage::HeapFile> file;
     std::vector<storage::Oid> oids;  // row id -> record
     std::vector<uint8_t> primary;    // row id -> primary flag
+    /// Row id -> two-layer begin class (kTwoLayer tables only; empty
+    /// otherwise). Mirrors bits 1..2 of the stored record's flag byte,
+    /// like `primary` mirrors bit 0.
+    std::vector<uint8_t> cls;
     /// Row liveness; empty means "all rows live". Migration GC and
     /// staging rollback physically delete records but must keep row ids
     /// stable (indexes and oids vectors are positional), so deleted rows
@@ -46,6 +54,7 @@ class ParallelTable {
         contents;
 
     int64_t num_rows() const { return static_cast<int64_t>(oids.size()); }
+    uint8_t row_class(uint64_t r) const { return cls.empty() ? 0 : cls[r]; }
     bool row_live(uint64_t r) const { return live.empty() || live[r] != 0; }
     int64_t num_live() const {
       if (live.empty()) return num_rows();
@@ -211,6 +220,20 @@ class ParallelTable {
     return fragments_[node]->primary[row] != 0;
   }
 
+  /// The shared replica-dedup predicate: true iff this node's copy is the
+  /// one a "count each logical row once" operation must keep. Every
+  /// manual dedup site (scans, broadcast-join probes, aggregates) routes
+  /// through here instead of reading the primary flag directly, so the
+  /// keep-rule has exactly one definition.
+  bool PrimaryFilter(int node, uint64_t row) const {
+    return fragments_[node]->primary[row] != 0;
+  }
+
+  /// Stored-copy census per two-layer begin class over live rows of alive
+  /// fragments ([A, B, C, D]; all counts land in A for non-kTwoLayer
+  /// tables, whose copies carry no class).
+  std::array<int64_t, 4> ClassCounts() const;
+
   /// Average *shallow* tuple bytes (what redistribution moves).
   double avg_tuple_bytes() const { return avg_tuple_bytes_; }
 
@@ -240,8 +263,16 @@ class ParallelTable {
   /// the flag vector, and charges the flip.
   Status SetRowPrimary(Cluster* cluster, int node, uint64_t row, bool primary);
 
+  /// Recomputes row `row`'s flag byte (primary bit + two-layer class)
+  /// from the *current* grid and rewrites the stored record only when it
+  /// changed (no-op, no charge otherwise). The migration/salvage flag
+  /// maintenance point for both spatial decluster modes: under kSpatial
+  /// it degenerates to the primary-bit update SetRowPrimary performs.
+  Status RefreshRowFlags(Cluster* cluster, int node, uint64_t row,
+                         const geom::Box& mbr);
+
   catalog::TableDef def_;
-  SpatialGrid grid_;  // valid iff def_.partitioning == kSpatial
+  SpatialGrid grid_;  // valid iff IsSpatialPartitioning(def_.partitioning)
   std::vector<std::unique_ptr<Fragment>> fragments_;
   double avg_tuple_bytes_ = 0.0;
   static uint32_t next_file_id_;

@@ -58,7 +58,7 @@ void TopologyManager::RegisterTable(ParallelTable* table) {
     if (t == table) return;
   }
   tables_.push_back(table);
-  if (table->def().partitioning == catalog::PartitioningKind::kSpatial) {
+  if (catalog::IsSpatialPartitioning(table->def().partitioning)) {
     if (!spatial_tables_.empty()) {
       const SpatialGrid& canon = spatial_tables_.front()->grid();
       PARADISE_CHECK_MSG(
@@ -184,7 +184,7 @@ void TopologyManager::DrainNode(int node) {
     QueueMove(std::move(m));
   }
   for (ParallelTable* t : tables_) {
-    if (t->def().partitioning == catalog::PartitioningKind::kSpatial) continue;
+    if (catalog::IsSpatialPartitioning(t->def().partitioning)) continue;
     for (size_t i = 0; i < targets.size(); ++i) {
       Move m;
       m.spatial = false;
@@ -366,7 +366,7 @@ Status TopologyManager::MigrateForLoss(ParallelTable* table, int dead_node) {
                      "loss migration requires the node to be marked dead");
   OnNodeDead(dead_node);
   PARADISE_RETURN_IF_ERROR(table->SalvageDeadNode(cluster_, dead_node));
-  if (table->def().partitioning == catalog::PartitioningKind::kSpatial) {
+  if (catalog::IsSpatialPartitioning(table->def().partitioning)) {
     table->mutable_grid()->set_epoch(epoch_);
   }
   // Salvage bulk-inserted unlogged rows into every survivor; checkpoint

@@ -40,6 +40,25 @@ struct PbsmJoinStats {
   int64_t sweep_candidates = 0;
   int64_t exact_tests = 0;
 
+  // Duplicate-elimination counters. Legacy replicate-and-dedup joins test
+  // every candidate (and every cross-node joined tuple) against the
+  // reference-point rule and drop the losers; the two-layer class plan
+  // never runs the test, so both counters are exactly 0 there — the
+  // observable form of its exactly-once guarantee.
+  int64_t dedup_tests = 0;    // reference-point tests executed
+  int64_t dedup_dropped = 0;  // candidates/results discarded by them
+
+  // Two-layer class census: partition entries per begin class, left and
+  // right combined (all-A means nothing spans a tile boundary). Zero in
+  // legacy mode.
+  int64_t class_a_items = 0;
+  int64_t class_b_items = 0;
+  int64_t class_c_items = 0;
+  int64_t class_d_items = 0;
+  /// Partition-entry bytes beyond one entry per input tuple (the
+  /// boundary-replication cost of the grid, in SoA entry bytes).
+  int64_t replicated_entry_bytes = 0;
+
   /// Replication factor: partition entries per input tuple (1.0 = none).
   double replication() const {
     int64_t tuples = left_tuples + right_tuples;

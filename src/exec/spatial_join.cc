@@ -296,6 +296,9 @@ StatusOr<TupleVec> PbsmJoinBody(const TupleVec& left, size_t left_col,
           static_cast<double>(st.left_items + st.right_items) /
           static_cast<double>(nonempty);
     }
+    st.replicated_entry_bytes =
+        (st.left_items - st.left_tuples + st.right_items - st.right_tuples) *
+        static_cast<int64_t>(4 * sizeof(double) + sizeof(uint32_t));
   }
 
   // Phase 2: per partition, forward plane sweep on xmin for candidate
@@ -316,6 +319,7 @@ StatusOr<TupleVec> PbsmJoinBody(const TupleVec& left, size_t left_col,
     int64_t compares = 0;
     int64_t candidates = 0;
     int64_t exact_tests = 0;
+    int64_t dedup_dropped = 0;
   };
   std::vector<PartitionTask> tasks(P);
   const bool use_soa =
@@ -354,6 +358,8 @@ StatusOr<TupleVec> PbsmJoinBody(const TupleVec& left, size_t left_col,
           if (partition_of_cell(grid.CellOf(rx, ry)) != p) continue;
           survivors.push_back({lord_at(lp), rord_at(rp)});
         }
+        task.dedup_dropped +=
+            static_cast<int64_t>(n) - static_cast<int64_t>(survivors.size());
         task.exact_tests += static_cast<int64_t>(survivors.size());
         if (!task.status.ok() || survivors.empty()) return;
         task.status = join_kernel::ExactJoinBatch(
@@ -426,6 +432,9 @@ StatusOr<TupleVec> PbsmJoinBody(const TupleVec& left, size_t left_col,
       ctx.pbsm_stats->sweep_pair_compares += task.compares;
       ctx.pbsm_stats->sweep_candidates += task.candidates;
       ctx.pbsm_stats->exact_tests += task.exact_tests;
+      // Every candidate runs the reference-point test in this mode.
+      ctx.pbsm_stats->dedup_tests += task.candidates;
+      ctx.pbsm_stats->dedup_dropped += task.dedup_dropped;
     }
     for (Tuple& t : task.out) out.push_back(std::move(t));
   }
@@ -537,6 +546,337 @@ StatusOr<TupleVec> PbsmSpatialJoin(const TupleVec& left, size_t left_col,
   return PbsmJoinBody(left, left_col, right, right_col, ctx, options,
                       left_cols, right_cols, P, cells_axis, grid,
                       partition_of_cell);
+}
+
+namespace {
+
+/// Uniform tile grid with core::SpatialGrid's exact arithmetic: tiles are
+/// numbered row-major from the upper-left corner and rows grow *downward*
+/// (cy = CoordToCell(ymax - y)), so an MBR's begin tile — the one holding
+/// its reference point (xmin, ymin) — is (cx0, cy1) of its cell range.
+/// The arithmetic must stay bit-identical to SpatialGrid::TilesOfBox, or
+/// a parallel two-layer join could emit a pair at a node the decluster
+/// pass never shipped the copies to (core_test pins the agreement).
+struct TileGrid {
+  double xmin, ymax;
+  double width, height;
+  uint32_t tiles;
+
+  TileGrid(const Box& universe, uint32_t tiles_per_axis)
+      : xmin(universe.xmin),
+        ymax(universe.ymax),
+        width(universe.Width()),
+        height(universe.Height()),
+        tiles(tiles_per_axis) {}
+
+  uint32_t CoordToCell(double offset, double extent) const {
+    double f = offset / extent * tiles;
+    if (f < 0) f = 0;
+    uint32_t c = static_cast<uint32_t>(f);
+    return std::min(c, tiles - 1);
+  }
+
+  /// Columns [cx0, cx1], rows [cy0, cy1]; begin tile = (cx0, cy1).
+  void Range(double bxlo, double bylo, double bxhi, double byhi,
+             uint32_t* cx0, uint32_t* cy0, uint32_t* cx1,
+             uint32_t* cy1) const {
+    *cx0 = CoordToCell(bxlo - xmin, width);
+    *cx1 = CoordToCell(bxhi - xmin, width);
+    *cy0 = CoordToCell(ymax - byhi, height);
+    *cy1 = CoordToCell(ymax - bylo, height);
+  }
+};
+
+/// The nine class pairs whose mini-joins cover every pair exactly once: at
+/// the tile holding the intersection's reference point, neither side can
+/// be x-spilled on both ends (the intersection's xmin is one side's xmin)
+/// nor y-spilled on both ends — which excludes exactly the seven
+/// combinations with B/D on the left and B/D's x-spill or C/D's y-spill
+/// repeated on the right. Note B×C and C×B are required: a wide-flat MBR
+/// crossing a tall-thin one meets it at a tile where neither is class A.
+constexpr struct {
+  TileClass l, r;
+} kMiniJoins[] = {
+    {TileClass::kA, TileClass::kA}, {TileClass::kA, TileClass::kB},
+    {TileClass::kA, TileClass::kC}, {TileClass::kA, TileClass::kD},
+    {TileClass::kB, TileClass::kA}, {TileClass::kC, TileClass::kA},
+    {TileClass::kD, TileClass::kA}, {TileClass::kB, TileClass::kC},
+    {TileClass::kC, TileClass::kB}};
+
+}  // namespace
+
+StatusOr<TupleVec> TwoLayerSpatialJoin(const TupleVec& left, size_t left_col,
+                                       const TupleVec& right, size_t right_col,
+                                       const ExecContext& ctx,
+                                       const TwoLayerOptions& options) {
+  if (ctx.pbsm_stats != nullptr) ctx.pbsm_stats->Clear();
+  PARADISE_CHECK(options.tiles_per_axis > 0);
+  const uint32_t T = options.tiles_per_axis;
+  const size_t num_tiles = static_cast<size_t>(T) * T;
+  PARADISE_CHECK(options.owned == nullptr ||
+                 options.owned->size() == num_tiles);
+
+  TupleVec out;
+  if (left.empty() || right.empty()) return out;
+
+  join_kernel::MbrColumns left_cols, right_cols;
+  Box universe = options.universe;
+  const bool auto_universe = universe.IsEmpty();
+  auto gather_mbrs = [&universe, auto_universe](const TupleVec& tuples,
+                                                size_t col,
+                                                join_kernel::MbrColumns* cols) {
+    const size_t n = tuples.size();
+    cols->Resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      if (i + 8 < n) __builtin_prefetch(tuples[i + 8].values.data());
+      Box b = tuples[i].at(col).Mbr();
+      cols->Set(i, b);
+      if (auto_universe) universe.ExpandToInclude(b);
+    }
+  };
+  gather_mbrs(left, left_col, &left_cols);
+  gather_mbrs(right, right_col, &right_cols);
+  if (universe.Width() <= 0 || universe.Height() <= 0) {
+    universe = universe.Inflate(1.0);
+  }
+  const TileGrid grid(universe, T);
+
+  // Dense ids for the owned tiles; everything downstream is keyed by
+  // dense_tile * 4 + class, so unowned tiles cost nothing.
+  std::vector<int32_t> tile_dense(num_tiles, -1);
+  size_t num_dense = 0;
+  for (size_t t = 0; t < num_tiles; ++t) {
+    if (options.owned == nullptr || (*options.owned)[t] != 0) {
+      tile_dense[t] = static_cast<int32_t>(num_dense++);
+    }
+  }
+  if (num_dense == 0) return out;
+  const size_t K = num_dense * 4;  // (tile, class) buckets
+
+  // Distribute: each side's ordinals, walked in global (xlo, ordinal)
+  // order, are counting-sorted into per-(owned tile, class) CSR lists —
+  // stable, so every list arrives presorted for the sweeps. Unlike PBSM's
+  // cell→partition map there is no duplicate guard: a tile is visited at
+  // most once per MBR by construction.
+  const std::vector<uint32_t> left_order = join_kernel::ArgsortByXlo(left_cols);
+  const std::vector<uint32_t> right_order =
+      join_kernel::ArgsortByXlo(right_cols);
+  auto distribute = [&](const join_kernel::MbrColumns& cols,
+                        const std::vector<uint32_t>& order, SideParts* parts) {
+    const size_t n = cols.size();
+    ctx.ChargeCpuOps(static_cast<int64_t>(n), sim::cpu_cost::kTupleOverhead);
+    std::vector<uint32_t> entry_key, entry_row;
+    entry_key.reserve(n + n / 4);
+    entry_row.reserve(n + n / 4);
+    std::vector<size_t> counts(K, 0);
+    for (size_t r = 0; r < n; ++r) {
+      const uint32_t i = order[r];
+      uint32_t cx0, cy0, cx1, cy1;
+      grid.Range(cols.xlo[i], cols.ylo[i], cols.xhi[i], cols.yhi[i], &cx0,
+                 &cy0, &cx1, &cy1);
+      for (uint32_t cy = cy0; cy <= cy1; ++cy) {
+        for (uint32_t cx = cx0; cx <= cx1; ++cx) {
+          const int32_t dense = tile_dense[static_cast<size_t>(cy) * T + cx];
+          if (dense < 0) continue;
+          const uint32_t cls =
+              (cx != cx0 ? 1u : 0u) | (cy != cy1 ? 2u : 0u);
+          const uint32_t key = static_cast<uint32_t>(dense) * 4 + cls;
+          entry_key.push_back(key);
+          entry_row.push_back(i);
+          ++counts[key];
+        }
+      }
+    }
+    parts->offsets.assign(K + 1, 0);
+    for (size_t k = 0; k < K; ++k) {
+      parts->offsets[k + 1] = parts->offsets[k] + counts[k];
+    }
+    parts->rows.resize(entry_row.size());
+    std::vector<size_t> cursor(parts->offsets.begin(),
+                               parts->offsets.end() - 1);
+    for (size_t e = 0; e < entry_row.size(); ++e) {
+      parts->rows[cursor[entry_key[e]]++] = entry_row[e];
+    }
+  };
+  SideParts left_parts, right_parts;
+  distribute(left_cols, left_order, &left_parts);
+  distribute(right_cols, right_order, &right_parts);
+
+  // Pack owned tiles into sweep-task groups by combined entry load. The
+  // group count and assignment are pure functions of the data and the
+  // options — never of the thread count.
+  std::vector<int64_t> tile_loads(num_dense, 0);
+  int64_t total_entries = 0;
+  for (size_t d = 0; d < num_dense; ++d) {
+    for (size_t c = 0; c < 4; ++c) {
+      tile_loads[d] +=
+          static_cast<int64_t>(left_parts.count(d * 4 + c)) +
+          static_cast<int64_t>(right_parts.count(d * 4 + c));
+    }
+    total_entries += tile_loads[d];
+  }
+  const size_t G =
+      std::max<size_t>(1, std::min(options.num_tasks, num_dense));
+  std::vector<uint32_t> tile_group;
+  if (options.group_packer != nullptr) {
+    tile_group = options.group_packer(tile_loads, G);
+    PARADISE_CHECK(tile_group.size() == num_dense);
+  } else {
+    // Contiguous prefix packing: close a group once it reaches its equal
+    // share of the total load.
+    tile_group.resize(num_dense);
+    const int64_t share = (total_entries + static_cast<int64_t>(G) - 1) /
+                          static_cast<int64_t>(G);
+    size_t g = 0;
+    int64_t acc = 0;
+    for (size_t d = 0; d < num_dense; ++d) {
+      tile_group[d] = static_cast<uint32_t>(g);
+      acc += tile_loads[d];
+      if (acc >= share && g + 1 < G) {
+        ++g;
+        acc = 0;
+      }
+    }
+  }
+  std::vector<std::vector<uint32_t>> group_tiles(G);
+  for (size_t d = 0; d < num_dense; ++d) {
+    PARADISE_CHECK(tile_group[d] < G);
+    group_tiles[tile_group[d]].push_back(static_cast<uint32_t>(d));
+  }
+
+  if (ctx.pbsm_stats != nullptr) {
+    PbsmJoinStats& st = *ctx.pbsm_stats;
+    st.partitions = G;
+    st.cells_per_axis = T;
+    st.left_tuples = static_cast<int64_t>(left.size());
+    st.right_tuples = static_cast<int64_t>(right.size());
+    st.left_items = static_cast<int64_t>(left_parts.rows.size());
+    st.right_items = static_cast<int64_t>(right_parts.rows.size());
+    int64_t* census[4] = {&st.class_a_items, &st.class_b_items,
+                          &st.class_c_items, &st.class_d_items};
+    for (size_t d = 0; d < num_dense; ++d) {
+      for (size_t c = 0; c < 4; ++c) {
+        *census[c] += static_cast<int64_t>(left_parts.count(d * 4 + c)) +
+                      static_cast<int64_t>(right_parts.count(d * 4 + c));
+      }
+    }
+    size_t nonempty = 0;
+    for (size_t g = 0; g < G; ++g) {
+      int64_t items = 0;
+      for (uint32_t d : group_tiles[g]) items += tile_loads[d];
+      st.max_partition_items = std::max(st.max_partition_items, items);
+      if (items > 0) ++nonempty;
+    }
+    st.nonempty_partitions = static_cast<int64_t>(nonempty);
+    if (nonempty > 0) {
+      st.mean_partition_items =
+          static_cast<double>(total_entries) / static_cast<double>(nonempty);
+    }
+    st.replicated_entry_bytes =
+        (st.left_items - st.left_tuples + st.right_items - st.right_tuples) *
+        static_cast<int64_t>(4 * sizeof(double) + sizeof(uint32_t));
+    // The whole point of the class plan: these stay zero.
+    st.dedup_tests = 0;
+    st.dedup_dropped = 0;
+  }
+
+  // Sweep phase: per group task, each owned tile runs its nine class-pair
+  // mini-joins as separate sweeps over the class-contiguous presorted
+  // lists. Every MBR-overlapping candidate goes straight to the exact
+  // pass — no reference-point filter, no hit-bit bookkeeping. Charges:
+  // one sort charge per non-empty class list of a productive tile, exact
+  // tests batch by batch, then the group's pair compares as one batched
+  // charge — all on a task-local clock merged in group order.
+  struct GroupTask {
+    Status status = Status::OK();
+    TupleVec out;
+    sim::ResourceUsage usage;
+    int64_t compares = 0;
+    int64_t candidates = 0;
+    int64_t exact_tests = 0;
+  };
+  std::vector<GroupTask> tasks(G);
+  auto sweep_group = [&](size_t g) {
+    GroupTask& task = tasks[g];
+    sim::NodeClock task_clock;
+    ExecContext task_ctx = TaskContext(ctx, &task_clock);
+    SweepScratch& scratch = t_sweep_scratch;
+    for (uint32_t d : group_tiles[g]) {
+      size_t l_total = 0, r_total = 0;
+      for (size_t c = 0; c < 4; ++c) {
+        l_total += left_parts.count(d * 4 + c);
+        r_total += right_parts.count(d * 4 + c);
+      }
+      if (l_total == 0 || r_total == 0) continue;
+      double sort_charge = 0.0;
+      for (size_t c = 0; c < 4; ++c) {
+        for (const SideParts* side : {&left_parts, &right_parts}) {
+          const double n = static_cast<double>(side->count(d * 4 + c));
+          if (n > 0) sort_charge += n * std::log2(n + 1);
+        }
+      }
+      task_ctx.ChargeCpu(sort_charge * sim::cpu_cost::kCompare);
+      for (const auto& mj : kMiniJoins) {
+        const size_t lk = d * 4 + static_cast<size_t>(mj.l);
+        const size_t rk = d * 4 + static_cast<size_t>(mj.r);
+        const size_t ln = left_parts.count(lk);
+        const size_t rn = right_parts.count(rk);
+        if (ln == 0 || rn == 0) continue;
+        join_kernel::SweepSide& ls = scratch.ls;
+        join_kernel::SweepSide& rs = scratch.rs;
+        ls.GatherPresorted(left_cols, &left_parts.rows[left_parts.begin(lk)],
+                           ln);
+        rs.GatherPresorted(right_cols,
+                           &right_parts.rows[right_parts.begin(rk)], rn);
+        std::vector<join_kernel::OrdinalPair>& pairs = scratch.survivors;
+        join_kernel::CandidateBatch batch(
+            join_kernel::kCandidateBatchSize,
+            [&](const join_kernel::Candidate* cands, size_t n) {
+              task.candidates += static_cast<int64_t>(n);
+              task.exact_tests += static_cast<int64_t>(n);
+              if (!task.status.ok() || n == 0) return;
+              pairs.clear();
+              for (size_t t = 0; t < n; ++t) {
+                pairs.push_back({ls.ordinal(cands[t].left_pos),
+                                 rs.ordinal(cands[t].right_pos)});
+              }
+              task.status = join_kernel::ExactJoinBatch(
+                  left, left_col, right, right_col, pairs.data(), n, task_ctx,
+                  &task.out);
+            });
+        task.compares += join_kernel::SweepForCandidates(ls, rs, &batch);
+        batch.Flush();
+      }
+    }
+    task_ctx.ChargeCpuOps(task.compares, sim::cpu_cost::kCompare);
+    task.usage = task_clock.EndPhase();
+  };
+  const bool pooled = ctx.pool != nullptr && ctx.pool->num_threads() > 1;
+  ForEachTask(ctx.pool, G, sweep_group);
+
+  int64_t ran = 0;
+  for (size_t g = 0; g < G; ++g) {
+    PARADISE_RETURN_IF_ERROR(std::move(tasks[g].status));
+  }
+  for (size_t g = 0; g < G; ++g) {
+    GroupTask& task = tasks[g];
+    bool productive = false;
+    for (uint32_t d : group_tiles[g]) {
+      if (tile_loads[d] > 0) productive = true;
+    }
+    if (productive) ++ran;
+    ctx.ChargeUsage(task.usage);
+    if (ctx.pbsm_stats != nullptr) {
+      ctx.pbsm_stats->sweep_pair_compares += task.compares;
+      ctx.pbsm_stats->sweep_candidates += task.candidates;
+      ctx.pbsm_stats->exact_tests += task.exact_tests;
+    }
+    for (Tuple& t : task.out) out.push_back(std::move(t));
+  }
+  if (ctx.pbsm_stats != nullptr) {
+    ctx.pbsm_stats->parallel_tasks = pooled ? ran : 0;
+  }
+  return out;
 }
 
 void IndexProbeCharger::ChargeVisits(int64_t visited) {

@@ -96,6 +96,57 @@ StatusOr<TupleVec> PbsmSpatialJoin(const TupleVec& left, size_t left_col,
                                    const ExecContext& ctx,
                                    const PbsmOptions& options = {});
 
+/// Two-layer begin class of one (MBR, tile) entry, after Tsitsigkos et
+/// al.'s space-oriented partitioning. Values match
+/// core::SpatialGrid::TileClass: A = the tile contains the MBR's
+/// reference point (its begin tile), B = the MBR spilled in along x only,
+/// C = along y only, D = along both.
+enum class TileClass : uint8_t { kA = 0, kB = 1, kC = 2, kD = 3 };
+
+struct TwoLayerOptions {
+  /// Tile grid resolution. The grid arithmetic is bit-identical to
+  /// core::SpatialGrid, so a parallel caller can pass its decluster
+  /// grid's geometry and the mini-joins line up with the replica
+  /// placement exactly.
+  uint32_t tiles_per_axis = 32;
+  /// Universe the tile grid covers; empty = union of the inputs' MBRs
+  /// (inflated when degenerate), like PbsmSpatialJoin's auto-universe.
+  geom::Box universe = geom::Box::Empty();
+  /// Optional ownership filter, one byte per tile id (row-major from the
+  /// upper-left corner, SpatialGrid numbering): only tiles with a nonzero
+  /// byte run their mini-joins. Null = every tile. A parallel join passes
+  /// the set of tiles this node owns; with each tile owned by exactly one
+  /// node, the per-node unions reproduce the global result exactly once.
+  const std::vector<uint8_t>* owned = nullptr;
+  /// Sweep-task groups the owned tiles are packed into
+  /// (partition-to-threads; the group count never depends on the thread
+  /// count).
+  size_t num_tasks = 32;
+  /// Optional load-aware tile→group packer (opt::PackTileGroups): takes
+  /// the combined left+right entry count per owned tile and the group
+  /// count, returns a group id in [0, num_groups) per tile. Must be a
+  /// pure function of its arguments. Null = contiguous equal-load prefix
+  /// packing.
+  std::vector<uint32_t> (*group_packer)(const std::vector<int64_t>& loads,
+                                        size_t num_groups) = nullptr;
+};
+
+/// Two-layer class mini-join plan: both inputs are distributed over the
+/// tile grid with per-(entry, tile) begin classes, and each owned tile
+/// runs the nine class pairs that can contain a pair's intersection
+/// reference point — A×{A,B,C,D}, {B,C,D}×A, B×C, C×B — as separate
+/// plane sweeps over the class-contiguous sorted lists. Each overlapping
+/// pair is emitted exactly once (at the tile holding the intersection's
+/// reference point, which is always an overlapped tile of both MBRs), so
+/// the reference-point duplicate-elimination branch of PBSM never runs:
+/// `PbsmJoinStats::dedup_tests` and `dedup_dropped` are exactly 0.
+/// Same determinism contract as PbsmSpatialJoin: results, charges, and
+/// stats are bit-identical for any `ctx.pool` thread count.
+StatusOr<TupleVec> TwoLayerSpatialJoin(const TupleVec& left, size_t left_col,
+                                       const TupleVec& right, size_t right_col,
+                                       const ExecContext& ctx,
+                                       const TwoLayerOptions& options = {});
+
 /// Charges index-probe I/O with buffer-pool awareness: node visits pay a
 /// cold random page read until the cumulative reads cover the whole index
 /// once (after which the ~page-sized nodes are pool-resident and visits

@@ -30,7 +30,8 @@ double JoinAdvisor::Distance(const JoinFeatures& a, const JoinFeatures& b) {
 }
 
 bool JoinAdvisor::Predict(const JoinFeatures& f, JoinMethod method,
-                          double* seconds, size_t* cells) const {
+                          bool two_layer, double* seconds,
+                          size_t* cells) const {
   // Relevant observations of this method, nearest first. Ties break on
   // insertion order (older first) so the prediction is a pure function of
   // the Record() sequence.
@@ -41,7 +42,7 @@ bool JoinAdvisor::Predict(const JoinFeatures& f, JoinMethod method,
   std::vector<Scored> near;
   for (size_t i = 0; i < store_.size(); ++i) {
     const JoinObservation& o = store_[i];
-    if (o.method != method) continue;
+    if (o.method != method || o.two_layer != two_layer) continue;
     double d = Distance(f, o.features);
     if (d > options_.max_distance) continue;
     near.push_back({d, i});
@@ -67,12 +68,14 @@ bool JoinAdvisor::Predict(const JoinFeatures& f, JoinMethod method,
   return true;
 }
 
-JoinDecision JoinAdvisor::Choose(const JoinFeatures& f) const {
+JoinDecision JoinAdvisor::Choose(const JoinFeatures& f,
+                                 bool two_layer) const {
   double pbsm_s = 0, inl_s = 0;
   size_t pbsm_cells = 0, inl_cells = 0;
-  bool have_pbsm = Predict(f, JoinMethod::kPbsm, &pbsm_s, &pbsm_cells);
-  bool have_inl =
-      Predict(f, JoinMethod::kIndexNestedLoops, &inl_s, &inl_cells);
+  bool have_pbsm =
+      Predict(f, JoinMethod::kPbsm, two_layer, &pbsm_s, &pbsm_cells);
+  bool have_inl = Predict(f, JoinMethod::kIndexNestedLoops, two_layer,
+                          &inl_s, &inl_cells);
 
   JoinDecision d;
   if (!have_pbsm && !have_inl) {

@@ -34,6 +34,12 @@ struct JoinObservation {
   JoinMethod method = JoinMethod::kPbsm;
   size_t cells_per_axis = 0;
   double modeled_seconds = 0.0;
+  /// True when the join ran the two-layer class mini-join plan
+  /// (catalog::PartitioningKind::kTwoLayer tables). Kept out of
+  /// JoinFeatures: it is a hard plan-compatibility bit, not a distance
+  /// dimension — Choose/Predict filter on it instead of blending costs
+  /// across plans with different dedup work.
+  bool two_layer = false;
   exec::PbsmJoinStats stats;  // zeroed for index nested loops
 };
 
@@ -81,7 +87,10 @@ class JoinAdvisor {
   explicit JoinAdvisor(const JoinAdvisorOptions& options = {});
 
   /// Picks the method + resolution for a join with features `f`.
-  JoinDecision Choose(const JoinFeatures& f) const;
+  /// `two_layer` restricts the evidence to observations of that decluster
+  /// mode — legacy and two-layer joins do different dedup work, so their
+  /// modeled costs are not comparable.
+  JoinDecision Choose(const JoinFeatures& f, bool two_layer = false) const;
 
   /// Feeds one completed join back into the store.
   void Record(const JoinObservation& obs);
@@ -96,10 +105,11 @@ class JoinAdvisor {
   static double Distance(const JoinFeatures& a, const JoinFeatures& b);
 
  private:
-  /// kNN cost prediction for `method`; false when the store holds fewer
-  /// than min_observations relevant points for it.
-  bool Predict(const JoinFeatures& f, JoinMethod method, double* seconds,
-               size_t* cells) const;
+  /// kNN cost prediction for `method` among `two_layer`-mode
+  /// observations; false when the store holds fewer than min_observations
+  /// relevant points for it.
+  bool Predict(const JoinFeatures& f, JoinMethod method, bool two_layer,
+               double* seconds, size_t* cells) const;
 
   JoinAdvisorOptions options_;
   std::deque<JoinObservation> store_;

@@ -20,8 +20,10 @@
 
 #include "benchmark/database.h"
 #include "benchmark/queries.h"
+#include "common/rng.h"
 #include "common/status.h"
 #include "core/cluster.h"
+#include "core/parallel_ops.h"
 #include "core/coordinator.h"
 #include "core/spatial_grid.h"
 #include "core/table.h"
@@ -472,6 +474,94 @@ TEST(ChurnRoutingTest, RoutingGridCarriesMigratedAssignments) {
   const SpatialGrid other = topo->MakeRoutingGrid(loaded.db->universe(), 10);
   EXPECT_EQ(other.num_tiles(), 100u);
   EXPECT_TRUE(other.reassigned_tiles().empty());
+}
+
+// ---------- Two-layer tables under churn ----------
+
+TEST(ChurnTwoLayerTest, MigratingTwoLayerTilesMidQueryPreservesJoin) {
+  Cluster::Options copts;
+  copts.buffer_pool_frames = 2048;
+  Cluster cluster(4, copts);
+  core::TopologyManager* topo = cluster.topology();
+
+  Rng rng(31);
+  const geom::Box universe(-50, -50, 50, 50);
+  TupleVec rows;
+  for (int i = 0; i < 160; ++i) {
+    double cx = rng.NextDouble(-45, 45), cy = rng.NextDouble(-45, 45);
+    double r = 2 + 6 * rng.NextDouble();
+    rows.push_back(Tuple(
+        {Value(int64_t{i}),
+         Value(geom::Polygon({{cx - r, cy - r}, {cx + r, cy - r},
+                              {cx + r, cy + r}, {cx - r, cy + r}}))}));
+  }
+  catalog::TableDef def;
+  def.name = "t2l";
+  def.schema = exec::Schema(
+      {{"id", ValueType::kInt}, {"shape", ValueType::kPolygon}});
+  def.partitioning = catalog::PartitioningKind::kTwoLayer;
+  def.partition_column = 1;
+  def.universe = universe;
+  auto table = ParallelTable::Load(&cluster, def, rows, /*tiles_per_axis=*/10);
+  ASSERT_TRUE(table.ok());
+  topo->RegisterTable(table->get());
+
+  // Self-join through a coordinator; keys must never change under churn.
+  auto run_join = [&](QueryCoordinator* coord) {
+    auto lper = core::ParallelScanAll(coord, **table, nullptr);
+    auto rper = core::ParallelScanAll(coord, **table, nullptr);
+    EXPECT_TRUE(lper.ok() && rper.ok());
+    core::ParallelSpatialJoinOptions opts;
+    opts.two_layer = true;
+    opts.left_predeclustered = true;
+    opts.right_predeclustered = true;
+    opts.routing_grid = &(*table)->grid();
+    opts.tiles_per_axis = (*table)->grid().tiles_per_axis();
+    auto joined =
+        core::ParallelSpatialJoin(coord, *lper, 1, *rper, 1, universe, opts);
+    EXPECT_TRUE(joined.ok()) << joined.status().ToString();
+    std::vector<std::pair<int64_t, int64_t>> keys;
+    for (const TupleVec& v : *joined) {
+      for (const Tuple& t : v) {
+        keys.emplace_back(t.at(0).AsInt(), t.at(2).AsInt());
+      }
+    }
+    std::sort(keys.begin(), keys.end());
+    EXPECT_EQ(std::adjacent_find(keys.begin(), keys.end()), keys.end())
+        << "duplicate pair";
+    EXPECT_EQ(coord->pbsm_stats().dedup_tests, 0);
+    EXPECT_EQ(coord->pbsm_stats().dedup_dropped, 0);
+    return keys;
+  };
+
+  QueryCoordinator before(&cluster);
+  ASSERT_TRUE(before.BeginQuery().ok());
+  const auto base = run_join(&before);
+  before.EndQuery();
+  EXPECT_FALSE(base.empty());
+
+  // A reader admitted *before* the migration pins its epoch; tiles of the
+  // two-layer table then migrate off node 1 (stage + cutover) while the
+  // query is open. The query must still see every pair exactly once with
+  // the dedup branch never running — the class flags at both the new
+  // owner (refreshed at cutover) and the orphaned source (parked) stay
+  // coherent with the routing grid.
+  QueryCoordinator pinned(&cluster);
+  ASSERT_TRUE(pinned.BeginQuery().ok());
+  topo->DrainNode(1);
+  ASSERT_OK(topo->DrainMigration(0.0));
+  EXPECT_GT(topo->stats().tiles_moved, 0);
+  EXPECT_EQ(run_join(&pinned), base);
+  pinned.EndQuery();
+
+  // After the pin releases, GC reclaims the orphans; the audit and the
+  // join answer both hold.
+  ASSERT_OK(topo->PumpMigration(1.0));
+  EXPECT_OK((*table)->ValidateOwnership(&cluster));
+  QueryCoordinator after(&cluster);
+  ASSERT_TRUE(after.BeginQuery().ok());
+  EXPECT_EQ(run_join(&after), base);
+  after.EndQuery();
 }
 
 // ---------- Determinism ----------

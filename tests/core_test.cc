@@ -340,6 +340,165 @@ TEST_P(ParallelEquivalenceTest, ClosestJoinMatchesBruteForce) {
   }
 }
 
+TEST_P(ParallelEquivalenceTest, TwoLayerJoinMatchesLegacyWithZeroDedup) {
+  int N = GetParam();
+  Rng rng(19);
+  Box universe(-40, -40, 40, 40);
+  TupleVec left = RandomPolyTuples(&rng, 120, 35, 4);
+  TupleVec right = RandomPolyTuples(&rng, 100, 35, 4);
+
+  auto run = [&](bool two_layer, exec::PbsmJoinStats* stats) {
+    Cluster cluster(N, SmallClusterOptions());
+    QueryCoordinator coord(&cluster);
+    EXPECT_TRUE(coord.BeginQuery().ok());
+    PerNode lper(N), rper(N);
+    for (size_t i = 0; i < left.size(); ++i) lper[i % N].push_back(left[i]);
+    for (size_t i = 0; i < right.size(); ++i) rper[i % N].push_back(right[i]);
+    ParallelSpatialJoinOptions opts;
+    opts.tiles_per_axis = 16;
+    opts.two_layer = two_layer;
+    auto joined = ParallelSpatialJoin(&coord, lper, 1, rper, 1, universe, opts);
+    EXPECT_TRUE(joined.ok());
+    std::set<std::pair<int64_t, int64_t>> got;
+    for (const TupleVec& v : *joined) {
+      for (const Tuple& t : v) {
+        auto ins = got.emplace(t.at(0).AsInt(), t.at(2).AsInt());
+        EXPECT_TRUE(ins.second) << "cross-node duplicate";
+      }
+    }
+    *stats = coord.pbsm_stats();
+    return got;
+  };
+
+  exec::PbsmJoinStats legacy_stats, two_stats;
+  auto legacy = run(false, &legacy_stats);
+  auto twol = run(true, &two_stats);
+  EXPECT_EQ(twol, legacy);
+  EXPECT_FALSE(twol.empty());
+  // The legacy path tests every joined tuple against the reference point;
+  // the class plan never runs that branch.
+  EXPECT_GT(legacy_stats.dedup_tests, 0);
+  EXPECT_EQ(two_stats.dedup_tests, 0);
+  EXPECT_EQ(two_stats.dedup_dropped, 0);
+  EXPECT_GT(two_stats.class_a_items, 0);
+}
+
+TEST(TwoLayerTableTest, LoadClassifiesRowsAndValidates) {
+  Cluster cluster(4, SmallClusterOptions());
+  Rng rng(23);
+  Box universe(-60, -60, 60, 60);
+  TupleVec rows = RandomPolyTuples(&rng, 200, 50, 8);  // big: spans tiles
+  TableDef def = PolyTableDef("t2l", PartitioningKind::kTwoLayer, universe);
+  auto table = ParallelTable::Load(&cluster, def, rows, /*tiles_per_axis=*/20);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->num_rows(), 200);
+  EXPECT_GT((*table)->num_stored(), 200);  // spill copies exist
+
+  // Class census: the A copies are exactly the primaries; every stored
+  // copy carries a class.
+  std::array<int64_t, 4> counts = (*table)->ClassCounts();
+  EXPECT_EQ(counts[0], (*table)->num_rows());
+  EXPECT_EQ(counts[0] + counts[1] + counts[2] + counts[3],
+            (*table)->num_stored());
+  EXPECT_GT(counts[1] + counts[2] + counts[3], 0);
+
+  // The flag audit checks class-vs-grid and class-A-iff-primary sync.
+  Status audit = (*table)->ValidateOwnership(&cluster);
+  EXPECT_TRUE(audit.ok()) << audit.ToString();
+
+  // Primary-only scan still sees each row exactly once.
+  std::multiset<int64_t> seen;
+  for (int n = 0; n < 4; ++n) {
+    auto frag = (*table)->ScanFragment(&cluster, n, true);
+    ASSERT_TRUE(frag.ok());
+    for (const Tuple& t : *frag) seen.insert(t.at(0).AsInt());
+  }
+  EXPECT_EQ(seen, Ids(rows));
+}
+
+/// One run of the predeclustered two-layer self-join: sorted result keys,
+/// modeled seconds, and the aggregated join stats.
+struct TwoLayerRunDigest {
+  std::set<std::pair<int64_t, int64_t>> keys;
+  double seconds = 0.0;
+  exec::PbsmJoinStats stats;
+};
+
+TwoLayerRunDigest RunTwoLayerTableJoin(int num_threads, bool faulted) {
+  Cluster cluster(4, SmallClusterOptions());
+  cluster.SetNumThreads(num_threads);
+  Rng rng(29);
+  Box universe(-50, -50, 50, 50);
+  TupleVec lrows = RandomPolyTuples(&rng, 150, 45, 6);
+  TupleVec rrows = RandomPolyTuples(&rng, 130, 45, 6);
+  TableDef ldef = PolyTableDef("L", PartitioningKind::kTwoLayer, universe);
+  TableDef rdef = PolyTableDef("R", PartitioningKind::kTwoLayer, universe);
+  auto lt = ParallelTable::Load(&cluster, ldef, lrows, /*tiles_per_axis=*/10);
+  auto rt = ParallelTable::Load(&cluster, rdef, rrows, /*tiles_per_axis=*/10);
+  EXPECT_TRUE(lt.ok() && rt.ok());
+  if (faulted) {
+    cluster.MarkNodeDead(2);
+    EXPECT_TRUE((*lt)->RedeclusterAfterLoss(&cluster, 2).ok());
+    EXPECT_TRUE((*rt)->RedeclusterAfterLoss(&cluster, 2).ok());
+    EXPECT_TRUE((*lt)->ValidateOwnership(&cluster).ok());
+    EXPECT_TRUE((*rt)->ValidateOwnership(&cluster).ok());
+  }
+  QueryCoordinator coord(&cluster);
+  EXPECT_TRUE(coord.BeginQuery().ok());
+  auto lper = ParallelScanAll(&coord, **lt, nullptr);
+  auto rper = ParallelScanAll(&coord, **rt, nullptr);
+  EXPECT_TRUE(lper.ok() && rper.ok());
+  ParallelSpatialJoinOptions opts;
+  opts.two_layer = true;
+  opts.left_predeclustered = true;
+  opts.right_predeclustered = true;
+  opts.routing_grid = &(*lt)->grid();
+  opts.tiles_per_axis = (*lt)->grid().tiles_per_axis();
+  auto joined =
+      ParallelSpatialJoin(&coord, *lper, 1, *rper, 1, universe, opts);
+  EXPECT_TRUE(joined.ok()) << joined.status().ToString();
+  TwoLayerRunDigest d;
+  for (const TupleVec& v : *joined) {
+    for (const Tuple& t : v) {
+      auto ins = d.keys.emplace(t.at(0).AsInt(), t.at(2).AsInt());
+      EXPECT_TRUE(ins.second) << "duplicate pair across nodes";
+    }
+  }
+  coord.EndQuery();
+  d.seconds = coord.query_seconds();
+  d.stats = coord.pbsm_stats();
+  return d;
+}
+
+TEST(TwoLayerTableTest, PredeclusteredJoinBitIdenticalCleanAndFaulted) {
+  // parallel_tasks is `pooled ? ran : 0` — the one stats field that is
+  // allowed to differ between a 1-thread (inline) and an 8-thread run.
+  auto normalized = [](const TwoLayerRunDigest& d) {
+    exec::PbsmJoinStats s = d.stats;
+    s.parallel_tasks = 0;
+    return s;
+  };
+  const TwoLayerRunDigest clean1 = RunTwoLayerTableJoin(1, false);
+  const TwoLayerRunDigest clean8 = RunTwoLayerTableJoin(8, false);
+  EXPECT_EQ(clean1.keys, clean8.keys);
+  EXPECT_EQ(clean1.seconds, clean8.seconds);  // bit-identical modeled time
+  EXPECT_EQ(normalized(clean1), normalized(clean8));
+  EXPECT_EQ(clean1.stats.dedup_tests, 0);
+  EXPECT_EQ(clean1.stats.dedup_dropped, 0);
+  EXPECT_FALSE(clean1.keys.empty());
+
+  const TwoLayerRunDigest fault1 = RunTwoLayerTableJoin(1, true);
+  const TwoLayerRunDigest fault8 = RunTwoLayerTableJoin(8, true);
+  // Same answer as the clean run on the degraded layout, still
+  // deterministic, still no dedup branch.
+  EXPECT_EQ(fault1.keys, clean1.keys);
+  EXPECT_EQ(fault1.keys, fault8.keys);
+  EXPECT_EQ(fault1.seconds, fault8.seconds);
+  EXPECT_EQ(normalized(fault1), normalized(fault8));
+  EXPECT_EQ(fault1.stats.dedup_tests, 0);
+  EXPECT_EQ(fault1.stats.dedup_dropped, 0);
+}
+
 INSTANTIATE_TEST_SUITE_P(NodeCounts, ParallelEquivalenceTest,
                          ::testing::Values(2, 3, 4, 8));
 

@@ -484,6 +484,201 @@ TEST(ExpandingCircleTest, FarAwayPointFallsBackToScan) {
   EXPECT_NEAR(match->distance, best, 1e-9);
 }
 
+// ---------------------------------------------------------------------------
+// Two-layer class mini-join plan vs. the legacy replicate-and-dedup PBSM.
+
+TupleVec ClusteredTuples(Rng* rng, int n, int64_t id_base) {
+  // Three tight hotspots plus corner anchors — the shape that makes
+  // replicate-and-dedup pay (many entries straddle tile boundaries
+  // inside the hotspots).
+  TupleVec out;
+  for (int i = 0; i < n; ++i) {
+    double cx = 10.0 + (i % 3);
+    double x = cx + rng->NextDouble(-0.6, 0.6);
+    double y = rng->NextDouble(-40, 40);
+    out.push_back(Tuple({Value(id_base + i),
+                         Value(Polyline({{x, y}, {x + 0.4, y + 0.4}}))}));
+  }
+  out.push_back(Tuple(
+      {Value(id_base + 9000), Value(Polyline({{-50, -50}, {-50, -50}}))}));
+  out.push_back(
+      Tuple({Value(id_base + 9001), Value(Polyline({{50, 50}, {50, 50}}))}));
+  return out;
+}
+
+class TwoLayerDifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TwoLayerDifferentialTest, MatchesLegacyWithZeroDedup) {
+  int seed = GetParam();
+  Rng rng(static_cast<uint64_t>(seed));
+  // Alternate data shapes across seeds: uniform random and clustered.
+  TupleVec left, right;
+  if (seed % 2 == 0) {
+    left = PolygonTuples(&rng, 160, 40, 5);
+    right = PolylineTuples(&rng, 140, 40);
+  } else {
+    left = ClusteredTuples(&rng, 200, 0);
+    right = ClusteredTuples(&rng, 180, 100000);
+  }
+
+  ExecContext ctx = NullCtx();
+  PbsmJoinStats two_stats;
+  ctx.pbsm_stats = &two_stats;
+  TwoLayerOptions two;
+  two.tiles_per_axis = 16;
+  auto twol = TwoLayerSpatialJoin(left, 1, right, 1, ctx, two);
+  ASSERT_TRUE(twol.ok());
+
+  ExecContext lctx = NullCtx();
+  auto legacy = PbsmSpatialJoin(left, 1, right, 1, lctx);
+  ASSERT_TRUE(legacy.ok());
+  auto nl = NestedLoopsJoin(left, right, Overlaps(Col(1), Col(3)), lctx);
+  ASSERT_TRUE(nl.ok());
+
+  EXPECT_EQ(JoinKeys(*twol, 0, 2), JoinKeys(*legacy, 0, 2));
+  EXPECT_EQ(JoinKeys(*twol, 0, 2), JoinKeys(*nl, 0, 2));
+  // The plan's whole point: no reference-point duplicate elimination runs.
+  EXPECT_EQ(two_stats.dedup_tests, 0);
+  EXPECT_EQ(two_stats.dedup_dropped, 0);
+  // Every distributed entry is classified; A..D census covers all items.
+  EXPECT_EQ(two_stats.class_a_items + two_stats.class_b_items +
+                two_stats.class_c_items + two_stats.class_d_items,
+            two_stats.left_items + two_stats.right_items);
+  EXPECT_GT(two_stats.class_a_items, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TwoLayerDifferentialTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(TwoLayerTest, DegenerateInputs) {
+  ExecContext ctx = NullCtx();
+  // Zero-width universe: every geometry is the same point, forcing the
+  // inflation guard; all 36 cross pairs, each exactly once.
+  TupleVec left, right;
+  for (int i = 0; i < 6; ++i) {
+    left.push_back(
+        Tuple({Value(int64_t{i}), Value(Polyline({{3, 4}, {3, 4}}))}));
+    right.push_back(Tuple(
+        {Value(int64_t{i + 100}), Value(Polyline({{3, 4}, {3, 4}}))}));
+  }
+  PbsmJoinStats stats;
+  ctx.pbsm_stats = &stats;
+  auto r = TwoLayerSpatialJoin(left, 1, right, 1, ctx);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(JoinKeys(*r, 0, 2).size(), 36u);
+  EXPECT_EQ(stats.dedup_tests, 0);
+  EXPECT_EQ(stats.dedup_dropped, 0);
+
+  // All-spanning MBRs: one entry per side covers the whole universe (so
+  // it lands in every tile, class D almost everywhere) among normal data.
+  Rng rng(11);
+  TupleVec bl = PolygonTuples(&rng, 40, 30, 4);
+  TupleVec br = PolylineTuples(&rng, 40, 30);
+  bl.push_back(Tuple({Value(int64_t{777}),
+                      Value(Polygon({{-60, -60}, {60, -60}, {60, 60},
+                                     {-60, 60}}))}));
+  br.push_back(Tuple(
+      {Value(int64_t{888}),
+       Value(Polyline({{-60, -60}, {60, 60}}))}));
+  ExecContext c2 = NullCtx();
+  auto twol = TwoLayerSpatialJoin(bl, 1, br, 1, c2);
+  ASSERT_TRUE(twol.ok());
+  auto nl = NestedLoopsJoin(bl, br, Overlaps(Col(1), Col(3)), c2);
+  ASSERT_TRUE(nl.ok());
+  EXPECT_EQ(JoinKeys(*twol, 0, 2), JoinKeys(*nl, 0, 2));
+}
+
+TEST(TwoLayerTest, CrossSpillPairNeedsBxC) {
+  // r spans columns only (begin class B at the intersection tile), s spans
+  // rows only (class C there); neither is class A anywhere near the
+  // reference point (5,5). A mini-join matrix without B×C / C×B silently
+  // drops this pair.
+  ExecContext ctx = NullCtx();
+  TupleVec left, right;
+  left.push_back(
+      Tuple({Value(int64_t{1}), Value(Polyline({{0, 5}, {10, 6}}))}));
+  right.push_back(
+      Tuple({Value(int64_t{2}), Value(Polyline({{5, 0}, {6, 10}}))}));
+  TwoLayerOptions two;
+  two.tiles_per_axis = 10;
+  two.universe = Box{0, 0, 10, 10};
+  auto r = TwoLayerSpatialJoin(left, 1, right, 1, ctx, two);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 1u);
+}
+
+TEST(TwoLayerTest, OwnedTilePartitionsUnionToGlobalResult) {
+  // Split the tile grid among three simulated nodes; each node's run sees
+  // the full inputs but only sweeps its owned tiles. The per-node results
+  // must be disjoint and union to the global (all-tiles) result — the
+  // exactly-once guarantee the parallel join relies on.
+  Rng rng(17);
+  TupleVec left = PolygonTuples(&rng, 150, 40, 5);
+  TupleVec right = PolylineTuples(&rng, 130, 40);
+  TwoLayerOptions two;
+  two.tiles_per_axis = 8;
+  two.universe = Box{-50, -50, 50, 50};
+
+  ExecContext ctx = NullCtx();
+  auto global = TwoLayerSpatialJoin(left, 1, right, 1, ctx, two);
+  ASSERT_TRUE(global.ok());
+  auto global_keys = JoinKeys(*global, 0, 2);
+
+  const uint32_t tiles = two.tiles_per_axis * two.tiles_per_axis;
+  std::set<std::pair<int64_t, int64_t>> unioned;
+  for (int node = 0; node < 3; ++node) {
+    std::vector<uint8_t> owned(tiles, 0);
+    for (uint32_t t = 0; t < tiles; ++t) owned[t] = (t % 3 == unsigned(node));
+    two.owned = &owned;
+    auto part = TwoLayerSpatialJoin(left, 1, right, 1, ctx, two);
+    ASSERT_TRUE(part.ok());
+    for (auto key : JoinKeys(*part, 0, 2)) {
+      EXPECT_TRUE(unioned.insert(key).second)
+          << "pair emitted by two owners: " << key.first << "," << key.second;
+    }
+  }
+  EXPECT_EQ(unioned, global_keys);
+}
+
+TEST(TwoLayerTest, ThreadCountLeavesResultsAndChargesBitIdentical) {
+  Rng rng(53);
+  TupleVec left = PolygonTuples(&rng, 220, 50, 6);
+  TupleVec right = PolylineTuples(&rng, 260, 50);
+  TwoLayerOptions two;
+  two.tiles_per_axis = 16;
+  two.num_tasks = 48;
+
+  std::vector<std::pair<int64_t, int64_t>> keys_1;
+  sim::ResourceUsage usage_1;
+  PbsmJoinStats stats_1;
+  for (int threads : {1, 8}) {
+    common::ThreadPool pool(threads);
+    sim::NodeClock clock;
+    PbsmJoinStats stats;
+    ExecContext ctx;
+    ctx.clock = &clock;
+    ctx.pool = &pool;
+    ctx.pbsm_stats = &stats;
+    auto r = TwoLayerSpatialJoin(left, 1, right, 1, ctx, two);
+    ASSERT_TRUE(r.ok());
+    sim::ResourceUsage usage = clock.EndPhase();
+    EXPECT_EQ(stats.dedup_tests, 0);
+    EXPECT_EQ(stats.dedup_dropped, 0);
+    if (threads == 1) {
+      keys_1 = OrderedKeys(*r, 0, 2);
+      usage_1 = usage;
+      stats_1 = stats;
+      EXPECT_EQ(stats.parallel_tasks, 0);
+    } else {
+      EXPECT_EQ(OrderedKeys(*r, 0, 2), keys_1) << "result order changed";
+      ExpectUsageEq(usage, usage_1);
+      stats_1.parallel_tasks = stats.parallel_tasks;  // the one allowed delta
+      EXPECT_EQ(stats, stats_1);
+      EXPECT_GT(stats.parallel_tasks, 0);
+    }
+  }
+}
+
 TEST(ExpandingCircleTest, ProbeCountGrowsWithDistance) {
   Rng rng(4);
   ExecContext ctx = NullCtx();
